@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module wraps the experiment ``run`` functions of
+:mod:`repro.experiments` (so the benchmarked code path is exactly the code
+that regenerates the paper artefact) plus the underlying library primitives
+whose cost matters at larger degrees.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks print, via the standard pytest-benchmark table, the wall-clock of
+regenerating every figure/table and claim; the *measured values* themselves
+(dilation, unit-route counts, ...) are covered by the test-suite and
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def embedding5():
+    """The n = 5 embedding, shared across benchmarks that only read it."""
+    from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+    return MeshToStarEmbedding(5)

@@ -1,0 +1,68 @@
+"""Benchmarks for the core embedding machinery (Theorem 4, Lemmas 1-3).
+
+Covers the conversion procedures at increasing degree, the full-embedding
+measurement that backs the THM4 experiment, and the claim experiments LEM1,
+LEM2 and THM4 themselves.
+"""
+
+import pytest
+
+from repro.embedding.mesh_to_star import MeshToStarEmbedding, convert_d_s, convert_s_d
+from repro.embedding.metrics import measure_embedding
+from repro.experiments.claims import exp_dilation, exp_lemma1_no_dilation1, exp_lemma2_transposition_distance
+from repro.topology.mesh import paper_mesh
+
+
+@pytest.mark.parametrize("n", [4, 6, 8, 10])
+def test_convert_d_s_throughput(benchmark, n):
+    """CONVERT-D-S over every node of D_n (the O(n^2)-per-node vertex map)."""
+    nodes = list(paper_mesh(n).nodes()) if n <= 6 else [
+        tuple(min(i, dim) for dim, i in zip(range(n - 1, 0, -1), range(n - 1)))
+    ] * 1000
+
+    def convert_all():
+        return [convert_d_s(coords, n) for coords in nodes]
+
+    benchmark(convert_all)
+
+
+@pytest.mark.parametrize("n", [4, 6, 8, 10])
+def test_convert_s_d_throughput(benchmark, n):
+    """CONVERT-S-D (inverse map) on a fixed batch of permutations."""
+    if n <= 6:
+        perms = [convert_d_s(coords, n) for coords in paper_mesh(n).nodes()]
+    else:
+        perms = [tuple(range(n - 1, -1, -1))] * 1000
+
+    def invert_all():
+        return [convert_s_d(perm, n) for perm in perms]
+
+    benchmark(invert_all)
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_measure_full_embedding(benchmark, n):
+    """Materialise and measure the full embedding (dilation/congestion/expansion)."""
+    def build_and_measure():
+        return measure_embedding(MeshToStarEmbedding(n))
+
+    metrics = benchmark(build_and_measure)
+    assert metrics.dilation == 3
+
+
+def test_lem1_experiment(benchmark):
+    """LEM1: the dilation-1 impossibility table."""
+    result = benchmark(exp_lemma1_no_dilation1.run, max_n=7)
+    result.assert_claim()
+
+
+def test_lem2_experiment(benchmark):
+    """LEM2: exhaustive transposition-distance check for n <= 5."""
+    result = benchmark(exp_lemma2_transposition_distance.run, degrees=(3, 4, 5))
+    result.assert_claim()
+
+
+def test_thm4_experiment(benchmark):
+    """THM4: dilation/expansion measurement across degrees 3..5."""
+    result = benchmark(exp_dilation.run, degrees=(3, 4, 5))
+    result.assert_claim()

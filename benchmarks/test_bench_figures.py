@@ -1,0 +1,52 @@
+"""Benchmarks for regenerating the paper's figures and tables (FIG2, FIG3, FIG4, FIG5/6, FIG7, TAB1)."""
+
+from repro.experiments.figures import (
+    figure2_star_graph,
+    figure3_mesh,
+    figure4_example_embedding,
+    figure5_6_conversions,
+    figure7_mapping_table,
+    table1_exchange_sequences,
+)
+
+
+def test_fig2_star_graph_s4(benchmark):
+    """FIG2: rebuild and check the 24-node star graph."""
+    result = benchmark(figure2_star_graph.run)
+    result.assert_claim()
+
+
+def test_fig2_star_graph_s5(benchmark):
+    """FIG2 (scaled): the 120-node star graph S_5."""
+    result = benchmark(figure2_star_graph.run, n=5)
+    result.assert_claim()
+
+
+def test_fig3_mesh_d4(benchmark):
+    """FIG3: rebuild and check the 2*3*4 mesh."""
+    result = benchmark(figure3_mesh.run)
+    result.assert_claim()
+
+
+def test_fig4_example_embedding(benchmark):
+    """FIG4: the 4-cycle into K_{1,3} worked example."""
+    result = benchmark(figure4_example_embedding.run)
+    result.assert_claim()
+
+
+def test_fig5_fig6_conversions(benchmark):
+    """FIG5/FIG6: replay the worked conversion examples plus a full round trip."""
+    result = benchmark(figure5_6_conversions.run)
+    result.assert_claim()
+
+
+def test_fig7_mapping_table(benchmark):
+    """FIG7: regenerate the 24-row mapping table and diff against the paper."""
+    result = benchmark(figure7_mapping_table.run)
+    result.assert_claim()
+
+
+def test_tab1_exchange_sequences(benchmark):
+    """TAB1: regenerate the exchange-sequence table and cross-check against CONVERT-D-S."""
+    result = benchmark(table1_exchange_sequences.run)
+    result.assert_claim()

@@ -1,0 +1,90 @@
+"""Benchmarks for Section 4 (uniform meshes), the Appendix and the sorting experiments.
+
+THM9, APP and CONC are the paper's "evaluation" of how general mesh workloads
+fare on the star graph; these benchmarks time the experiments that regenerate
+them plus the individual kernels (shearsort, line sorts, contraction
+measurement) at their natural sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.sorting import odd_even_transposition_sort, shearsort_2d
+from repro.embedding.uniform import UniformMeshSimulation, factorise_paper_mesh
+from repro.experiments.claims import exp_optimal_dimension, exp_sorting, exp_uniform_mesh
+from repro.simd.embedded import EmbeddedMeshMachine
+from repro.simd.mesh_machine import MeshMachine
+
+
+def test_thm9_experiment(benchmark):
+    """THM9: Theorem 7-9 bound table plus measured contractions."""
+    result = benchmark(exp_uniform_mesh.run, degrees=(3, 4, 5, 6), measured_degrees=(3, 4))
+    result.assert_claim()
+
+
+def test_app_experiment(benchmark):
+    """APP: Appendix factorisation and optimal-dimension cost curve."""
+    result = benchmark(exp_optimal_dimension.run, degrees=(5, 6, 7, 8, 9))
+    result.assert_claim()
+
+
+def test_conc_experiment(benchmark):
+    """CONC: sorting measurements (line sorts through the embedding + shearsort)."""
+    result = benchmark(exp_sorting.run, degrees=(4,))
+    result.assert_claim()
+
+
+@pytest.mark.parametrize("n", [5, 6])
+def test_shearsort_on_appendix_reshape(benchmark, n):
+    """Shearsort n! keys on the Appendix 2-D factorisation (native mesh machine)."""
+    rows, cols = factorise_paper_mesh(n, 2)
+    rng = random.Random(n)
+    data = {}
+
+    def run():
+        machine = MeshMachine((rows, cols))
+        for node in machine.mesh.nodes():
+            data[node] = rng.randint(0, 10**6)
+        machine.define_register("K", data)
+        shearsort_2d(machine, "K")
+        return machine
+
+    machine = benchmark(run)
+    assert machine.stats.unit_routes > 0
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_line_sort_through_embedding(benchmark, n):
+    """Odd-even line sort of D_n executed on the star machine via the embedding."""
+    rng = random.Random(n)
+
+    def run():
+        machine = EmbeddedMeshMachine(n)
+        machine.define_register("K", lambda node: rng.randint(0, 1000))
+        odd_even_transposition_sort(machine, "K", dim=0)
+        return machine
+
+    machine = benchmark(run)
+    assert machine.star_stats.unit_routes <= 3 * machine.stats.unit_routes
+
+
+@pytest.mark.parametrize("side,n", [(3, 4), (3, 5)])
+def test_uniform_contraction_measurement(benchmark, side, n):
+    """Measuring the load/stretch of contracting a uniform mesh onto D_n (Section 4)."""
+    sim = UniformMeshSimulation(tuple(side for _ in range(n - 1)), n=n)
+    metrics = benchmark(sim.measure)
+    assert metrics.max_load >= 1
+
+
+@pytest.mark.parametrize("n,d", [(5, 2), (6, 2), (6, 3)])
+def test_appendix_reshape_embedding(benchmark, n, d):
+    """Build and measure the Appendix's dilation-1 reshape of D_n into d dimensions."""
+    from repro.embedding.metrics import measure_embedding
+    from repro.embedding.reshape import PaperMeshReshapeEmbedding
+
+    def build_and_measure():
+        return measure_embedding(PaperMeshReshapeEmbedding(n, d))
+
+    metrics = benchmark(build_and_measure)
+    assert metrics.dilation == 1 and metrics.expansion == 1.0

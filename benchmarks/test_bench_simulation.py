@@ -1,0 +1,91 @@
+"""Benchmarks for the SIMD simulator and the Theorem 6 unit-route simulation.
+
+The headline numbers here are the cost of replaying mesh unit routes on the
+star machine (THM6), a full mesh broadcast through the embedding (PROP-B) and
+the path-construction ablation (canonical Lemma-2 paths vs host BFS shortest
+paths) recorded in DESIGN.md.
+"""
+
+import pytest
+
+from repro.embedding.paths import unit_route_paths
+from repro.experiments.claims import exp_broadcast, exp_unit_route_simulation
+from repro.simd.embedded import EmbeddedMeshMachine
+from repro.simd.mesh_machine import MeshMachine
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_thm6_experiment(benchmark, n):
+    """THM6: static + dynamic unit-route simulation check for one degree."""
+    result = benchmark(exp_unit_route_simulation.run, degrees=(n,))
+    result.assert_claim()
+
+
+def test_propb_experiment(benchmark):
+    """PROP-B: broadcast measurements (direct star + mesh-through-embedding)."""
+    result = benchmark(exp_broadcast.run, degrees=(3, 4))
+    result.assert_claim()
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_mesh_unit_route_native(benchmark, n):
+    """Baseline: one SIMD-A unit route on the native mesh machine."""
+    sides = tuple(range(n, 1, -1))
+    machine = MeshMachine(sides)
+    machine.define_register("A", 1)
+
+    def route():
+        machine.route_dimension("A", "B", 1, +1)
+
+    benchmark(route)
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_mesh_unit_route_embedded(benchmark, n):
+    """The same unit route replayed on the star machine (<= 3 star unit routes)."""
+    machine = EmbeddedMeshMachine(n)
+    machine.define_register("A", 1)
+
+    def route():
+        machine.route_dimension("A", "B", 1, +1)
+
+    benchmark(route)
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_unit_route_path_construction_canonical(benchmark, n, embedding5):
+    """Ablation (a): canonical Lemma-2 path construction for a full unit route."""
+    from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+    embedding = embedding5 if n == 5 else MeshToStarEmbedding(n)
+
+    def build():
+        return unit_route_paths(embedding, dimension=2, delta=+1)
+
+    paths = benchmark(build)
+    assert all(len(p) - 1 in (1, 3) for p in paths.values())
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_unit_route_path_construction_bfs(benchmark, n, embedding5):
+    """Ablation (b): the same paths found by host shortest-path search instead."""
+    from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+    embedding = embedding5 if n == 5 else MeshToStarEmbedding(n)
+    star = embedding.star
+    index = embedding.n - 1 - 2  # tuple index of paper dimension 2
+
+    def build():
+        paths = {}
+        for source in embedding.guest.nodes():
+            if source[index] + 1 > 2:
+                continue
+            destination = list(source)
+            destination[index] += 1
+            paths[source] = star.shortest_path(
+                embedding.map_node(source), embedding.map_node(tuple(destination))
+            )
+        return paths
+
+    paths = benchmark(build)
+    assert all(len(p) - 1 in (1, 3) for p in paths.values())

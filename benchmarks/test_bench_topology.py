@@ -1,0 +1,75 @@
+"""Benchmarks for the topology substrate: distances, routing, neighbourhood scans.
+
+These are the primitives every experiment leans on; the ablation pair
+"closed-form distance vs BFS" quantifies the design decision recorded in
+DESIGN.md (formula preferred, BFS kept as an oracle).
+"""
+
+import pytest
+
+from repro.experiments.claims import exp_star_properties, exp_star_vs_hypercube
+from repro.topology.nx_adapter import bfs_distances
+from repro.topology.routing import star_distance, star_route
+from repro.topology.star import StarGraph
+
+
+@pytest.mark.parametrize("n", [5, 7, 9])
+def test_star_distance_closed_form(benchmark, n):
+    """Ablation (a): all-pairs-from-origin distances via the cycle-structure formula."""
+    star = StarGraph(n)
+    origin = star.identity
+    nodes = [star.node_from_index(i) for i in range(0, star.num_nodes, max(1, star.num_nodes // 2000))]
+
+    def all_distances():
+        return [star_distance(origin, node) for node in nodes]
+
+    benchmark(all_distances)
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_star_distance_bfs_oracle(benchmark, n):
+    """Ablation (b): the same distances via networkx BFS (the slow oracle)."""
+    star = StarGraph(n)
+
+    def bfs():
+        return bfs_distances(star, star.identity)
+
+    benchmark(bfs)
+
+
+@pytest.mark.parametrize("n", [5, 7, 9])
+def test_star_greedy_routing(benchmark, n):
+    """Greedy optimal routing between antipodal-ish nodes."""
+    star = StarGraph(n)
+    source = star.identity
+    target = star.paper_origin
+
+    def route():
+        return star_route(source, target)
+
+    path = benchmark(route)
+    assert len(path) - 1 == star.distance(source, target)
+
+
+@pytest.mark.parametrize("n", [4, 5])
+def test_star_neighborhood_scan(benchmark, n):
+    """Enumerate every node's neighbourhood (the inner loop of the structural checks)."""
+    star = StarGraph(n)
+
+    def scan():
+        return sum(len(star.neighbors(node)) for node in star.nodes())
+
+    total = benchmark(scan)
+    assert total == star.num_nodes * (n - 1)
+
+
+def test_propd_experiment(benchmark):
+    """PROP-D: the Section-2 property measurements (diameter, symmetry, faults)."""
+    result = benchmark(exp_star_properties.run, degrees=(3, 4), fault_trials=5)
+    result.assert_claim()
+
+
+def test_cmp_experiment(benchmark):
+    """CMP: star vs hypercube comparison table plus embedding comparison."""
+    result = benchmark(exp_star_vs_hypercube.run, max_degree=8, embedding_degrees=(3, 4))
+    result.assert_claim()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Image smoothing on a star-graph machine.
+
+The paper's introduction motivates mesh embeddings with image processing and
+numerical analysis: those applications access data that is *proximate in mesh
+coordinates*.  This example runs a classic mesh workload -- iterative
+box-blur / Jacobi smoothing of a noisy image -- on
+
+* a native mesh machine (the algorithm's natural home), and
+* the same mesh simulated on a star graph through the paper's embedding,
+
+and reports the unit-route ledgers side by side.  The results are bit-for-bit
+identical; the star machine pays at most 3x the unit routes (Theorem 6).
+
+The "image" is a synthetic 2-D intensity field laid onto the first two
+dimensions of ``D_n`` (every remaining dimension holds an independent copy, as
+a real SIMD machine would process a batch of tiles).
+
+Run with::
+
+    python examples/image_smoothing_on_star.py [n] [iterations]
+"""
+
+import random
+import sys
+
+from repro.simd import EmbeddedMeshMachine, MeshMachine
+from repro.topology import paper_mesh
+
+
+def synthetic_image(mesh, seed=0):
+    """A smooth ramp plus salt-and-pepper noise, one value per mesh PE."""
+    rng = random.Random(seed)
+    image = {}
+    for node in mesh.nodes():
+        ramp = 10.0 * node[0] + 5.0 * node[1]
+        noise = 40.0 if rng.random() < 0.15 else 0.0
+        image[node] = ramp + noise
+    return image
+
+
+def smooth(machine, iterations):
+    """Iteratively replace every pixel by the average of itself and its neighbours."""
+    mesh = machine.mesh
+    for _ in range(iterations):
+        machine.define_register("acc", 0.0)
+        machine.define_register("cnt", 1)
+        machine.apply("acc", lambda acc, u: acc + u, "acc", "u")
+        for dim in range(mesh.ndim):
+            for delta in (+1, -1):
+                machine.define_register("nbr", None)
+                machine.route_dimension("u", "nbr", dim, delta)
+                machine.apply(
+                    "acc",
+                    lambda acc, nbr: acc + (nbr if nbr is not None else 0.0),
+                    "acc",
+                    "nbr",
+                )
+                machine.apply(
+                    "cnt",
+                    lambda cnt, nbr: cnt + (1 if nbr is not None else 0),
+                    "cnt",
+                    "nbr",
+                )
+        machine.apply("u", lambda acc, cnt: acc / cnt, "acc", "cnt")
+    return machine.read_register("u")
+
+
+def total_variation(mesh, values):
+    """Sum of absolute differences across mesh edges -- a roughness measure."""
+    return sum(abs(values[u] - values[v]) for u, v in mesh.edges())
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+
+    mesh = paper_mesh(n)
+    image = synthetic_image(mesh)
+
+    native = MeshMachine(mesh.sides)
+    embedded = EmbeddedMeshMachine(n)
+    for machine in (native, embedded):
+        machine.define_register("u", dict(image))
+
+    before = total_variation(mesh, image)
+    result_native = smooth(native, iterations)
+    result_embedded = smooth(embedded, iterations)
+    after = total_variation(mesh, result_native)
+
+    identical = result_native == result_embedded
+    ratio = embedded.star_stats.unit_routes / embedded.stats.unit_routes
+
+    print(f"D_{n} image smoothing, {iterations} iteration(s), {mesh.num_nodes} pixels")
+    print(f"  roughness before / after           : {before:9.1f} / {after:9.1f}")
+    print(f"  native mesh unit routes            : {native.stats.unit_routes}")
+    print(f"  embedded machine mesh unit routes  : {embedded.stats.unit_routes}")
+    print(f"  embedded machine star unit routes  : {embedded.star_stats.unit_routes}")
+    print(f"  star / mesh ratio                  : {ratio:.3f}  (Theorem 6 bound: 3)")
+    print(f"  results identical on both machines : {identical}")
+
+
+if __name__ == "__main__":
+    main()

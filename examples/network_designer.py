@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Interconnection-network comparison: should your machine be a star graph?
+
+The introduction of the paper (following Akers, Harel & Krishnamurthy) argues
+that the star graph is "an attractive alternative to the n-cube": more
+processors per link, smaller diameter per processor, maximal fault tolerance,
+and -- the paper's own contribution -- cheap mesh embeddings.  This example
+plays the role of a network designer's back-of-the-envelope tool: given a
+target machine size it prints, for the candidate star graphs and hypercubes,
+
+* node counts, degrees and diameters,
+* the quality of hosting the mixed-radix mesh on each (the paper's dilation-3
+  expansion-1 embedding vs the Gray-code dilation-1 embedding with expansion),
+* measured broadcast costs on the star graph vs the quoted bound.
+
+Run with::
+
+    python examples/network_designer.py [max_degree]
+"""
+
+import sys
+
+from repro.algorithms import star_broadcast_bound, star_broadcast_greedy
+from repro.analysis.comparison import closest_hypercube_for_star, star_vs_hypercube_table
+from repro.embedding import MeshToHypercubeEmbedding, MeshToStarEmbedding, measure_embedding
+from repro.experiments.report import format_table
+from repro.simd import StarMachine
+from repro.topology import paper_mesh
+
+
+def network_table(max_degree: int) -> str:
+    headers = ["degree", "star nodes", "star diam", "cube nodes", "cube diam", "nodes ratio"]
+    rows = []
+    for row in star_vs_hypercube_table(max_degree):
+        rows.append(
+            (
+                row.degree,
+                row.star_nodes,
+                row.star_diameter,
+                row.hypercube_nodes,
+                row.hypercube_diameter,
+                f"{row.node_ratio:.1f}x",
+            )
+        )
+    return format_table(headers, rows)
+
+
+def embedding_table(degrees) -> str:
+    headers = ["mesh", "host", "expansion", "dilation", "congestion"]
+    rows = []
+    for n in degrees:
+        star_metrics = measure_embedding(MeshToStarEmbedding(n))
+        cube_metrics = measure_embedding(MeshToHypercubeEmbedding(paper_mesh(n)))
+        rows.append(
+            (f"D_{n}", f"S_{n}", f"{star_metrics.expansion:g}", star_metrics.dilation,
+             star_metrics.congestion)
+        )
+        rows.append(
+            (f"D_{n}", f"Q_{cube_metrics.host_nodes.bit_length() - 1}",
+             f"{cube_metrics.expansion:.2f}", cube_metrics.dilation, cube_metrics.congestion)
+        )
+    return format_table(headers, rows)
+
+
+def broadcast_table(degrees) -> str:
+    headers = ["n", "PEs", "measured broadcast routes", "paper bound ~3 n lg n"]
+    rows = []
+    for n in degrees:
+        machine = StarMachine(n)
+        source = machine.star.identity
+        machine.define_register("V", {source: 1})
+        measured = star_broadcast_greedy(machine, source, "V")
+        rows.append((n, machine.num_pes, measured, f"{star_broadcast_bound(n):.1f}"))
+    return format_table(headers, rows)
+
+
+def main() -> None:
+    max_degree = int(sys.argv[1]) if len(sys.argv) > 1 else 9
+
+    print("=== Star graph vs hypercube at equal degree ===")
+    print(network_table(max_degree))
+    print()
+    print("For equal machine size the gap widens: to host as many nodes as S_7")
+    print(f"a hypercube needs {closest_hypercube_for_star(7)} dimensions (diameter "
+          f"{closest_hypercube_for_star(7)}) while S_7's diameter is 9.")
+    print()
+    print("=== Hosting the mixed-radix mesh D_n ===")
+    print(embedding_table((3, 4, 5)))
+    print()
+    print("=== Broadcasting on the star graph ===")
+    print(broadcast_table((3, 4)))
+
+
+if __name__ == "__main__":
+    main()

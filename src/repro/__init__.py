@@ -1,0 +1,82 @@
+"""repro -- reproduction of "Embedding Meshes on the Star Graph" (Ranka, Wang, Yeh 1989).
+
+The package implements the paper's dilation-3, expansion-1 embedding of the
+``2*3*...*n`` mesh into the ``n``-star graph, every substrate it relies on
+(permutation algebra, star/mesh/hypercube topologies, an SIMD multicomputer
+simulator with unit-route accounting), the parallel algorithms used to
+exercise it, and the analysis/experiment harness that regenerates every figure
+and table of the paper.
+
+Quickstart
+----------
+>>> from repro import MeshToStarEmbedding
+>>> emb = MeshToStarEmbedding(4)
+>>> emb.map_node((3, 0, 1))
+(0, 3, 1, 2)
+>>> from repro.embedding import measure_embedding
+>>> measure_embedding(emb).dilation
+3
+"""
+
+from repro.exceptions import (
+    ReproError,
+    InvalidParameterError,
+    InvalidNodeError,
+    InvalidPermutationError,
+    EmbeddingError,
+    DilationViolationError,
+    SimulationError,
+    RouteConflictError,
+)
+from repro.permutations import Permutation, permutation_rank, permutation_unrank
+from repro.topology import StarGraph, Mesh, Hypercube, paper_mesh
+from repro.embedding import (
+    Embedding,
+    MeshToStarEmbedding,
+    MeshToHypercubeEmbedding,
+    convert_d_s,
+    convert_s_d,
+    measure_embedding,
+)
+from repro.simd import (
+    SIMDMachine,
+    StarMachine,
+    MeshMachine,
+    EmbeddedMeshMachine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidNodeError",
+    "InvalidPermutationError",
+    "EmbeddingError",
+    "DilationViolationError",
+    "SimulationError",
+    "RouteConflictError",
+    # permutations
+    "Permutation",
+    "permutation_rank",
+    "permutation_unrank",
+    # topologies
+    "StarGraph",
+    "Mesh",
+    "Hypercube",
+    "paper_mesh",
+    # embeddings
+    "Embedding",
+    "MeshToStarEmbedding",
+    "MeshToHypercubeEmbedding",
+    "convert_d_s",
+    "convert_s_d",
+    "measure_embedding",
+    # SIMD machines
+    "SIMDMachine",
+    "StarMachine",
+    "MeshMachine",
+    "EmbeddedMeshMachine",
+]

@@ -1,0 +1,50 @@
+"""Parallel algorithms on the SIMD machine model.
+
+The kernels here are written against the *mesh machine interface* (registers,
+masked local operations, the ``route_dimension`` unit route) so the very same
+code runs on
+
+* :class:`~repro.simd.mesh_machine.MeshMachine` -- a native mesh, counting
+  mesh unit routes, and
+* :class:`~repro.simd.embedded.EmbeddedMeshMachine` -- the mesh simulated on a
+  star graph through the paper's embedding, counting both mesh- and star-level
+  unit routes.
+
+Running a kernel on both machines and comparing the ledgers is exactly the
+experiment Theorem 6 calls for: the star-level count never exceeds three times
+the mesh-level count.
+
+Star-specific algorithms (broadcasting on ``S_n`` itself, Section 2 property
+3) live in :mod:`repro.algorithms.broadcast`.
+"""
+
+from repro.algorithms.broadcast import (
+    mesh_broadcast,
+    star_broadcast_greedy,
+    star_broadcast_bound,
+)
+from repro.algorithms.reduction import mesh_reduce, mesh_allreduce
+from repro.algorithms.scan import prefix_sum_dimension, segmented_totals
+from repro.algorithms.shift import shift_dimension, rotate_dimension
+from repro.algorithms.sorting import (
+    odd_even_transposition_sort,
+    shearsort_2d,
+    sort_lines,
+    snake_order_rank,
+)
+
+__all__ = [
+    "mesh_broadcast",
+    "star_broadcast_greedy",
+    "star_broadcast_bound",
+    "mesh_reduce",
+    "mesh_allreduce",
+    "prefix_sum_dimension",
+    "segmented_totals",
+    "shift_dimension",
+    "rotate_dimension",
+    "odd_even_transposition_sort",
+    "shearsort_2d",
+    "sort_lines",
+    "snake_order_rank",
+]

@@ -1,0 +1,82 @@
+"""Reductions on the mesh machine interface.
+
+:func:`mesh_reduce` folds an associative operator over every PE's value and
+leaves the result at the mesh origin ``(0, ..., 0)``; :func:`mesh_allreduce`
+additionally broadcasts it back to every PE.  Both are classic dimension-sweep
+kernels: dimension ``k`` is reduced by ``side_k - 1`` unit routes pushing
+partial results toward coordinate 0.
+
+Run on an :class:`~repro.simd.embedded.EmbeddedMeshMachine` they exercise the
+Theorem-6 simulation on a computation-heavy workload (numerical reductions are
+the inner loop of the numerical-analysis applications the paper's introduction
+motivates the embedding with).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.topology.base import Node
+
+__all__ = ["mesh_reduce", "mesh_allreduce"]
+
+_NEUTRAL = object()
+
+
+def mesh_reduce(
+    machine,
+    register: str,
+    operator: Callable[[object, object], object],
+    *,
+    result: Optional[str] = None,
+) -> object:
+    """Reduce *register* over every PE with *operator*; result lands at the origin.
+
+    Returns the reduced value (also left in register *result*, default
+    ``register + "_red"``, at mesh node ``(0, ..., 0)``).  The operator must be
+    associative; commutativity is not required because values are always
+    folded in coordinate order (higher coordinate folded into lower).
+    """
+    mesh = machine.mesh
+    result = result or f"{register}_red"
+    machine.copy_register(register, result)
+    machine.define_register("_incoming_red", _NEUTRAL)
+
+    def fold(current, incoming):
+        if incoming is _NEUTRAL:
+            return current
+        return operator(current, incoming)
+
+    for dim in range(mesh.ndim):
+        side = mesh.sides[dim]
+        for step in range(side - 1, 0, -1):
+            # PEs whose coordinate along `dim` equals `step` push their partial
+            # result one step toward 0; the receiver folds it in.
+            sender_mask = lambda node, d=dim, s=step: node[d] == s  # noqa: E731
+            receiver_mask = lambda node, d=dim, s=step: node[d] == s - 1  # noqa: E731
+            machine.route_dimension(result, "_incoming_red", dim, -1, where=sender_mask)
+            machine.apply(result, fold, result, "_incoming_red", where=receiver_mask)
+            machine.apply("_incoming_red", lambda _v: _NEUTRAL, "_incoming_red")
+    origin: Node = tuple(0 for _ in mesh.sides)
+    return machine.read_value(result, origin)
+
+
+def mesh_allreduce(
+    machine,
+    register: str,
+    operator: Callable[[object, object], object],
+    *,
+    result: Optional[str] = None,
+) -> object:
+    """Reduce and broadcast: every PE ends up holding the reduced value.
+
+    Returns the reduced value; register *result* (default ``register +
+    "_all"``) holds it on every PE afterwards.
+    """
+    from repro.algorithms.broadcast import mesh_broadcast
+
+    result = result or f"{register}_all"
+    reduced = mesh_reduce(machine, register, operator, result="_allred_partial")
+    origin = tuple(0 for _ in machine.mesh.sides)
+    mesh_broadcast(machine, origin, "_allred_partial", result=result)
+    return reduced

@@ -1,0 +1,92 @@
+"""Prefix sums (scans) along mesh dimensions.
+
+:func:`prefix_sum_dimension` computes, in parallel for every line of the mesh
+along one dimension, the inclusive prefix combination of an associative
+operator.  The sequential-shift formulation costs ``side - 1`` unit routes,
+matching the linear-array lower bound for a non-wraparound mesh line.
+
+:func:`segmented_totals` leaves every line's total on every PE of the line (a
+line-local allreduce), which is the building block higher-dimensional scans
+and the shearsort row phase use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["prefix_sum_dimension", "segmented_totals"]
+
+_EMPTY = object()
+
+
+def prefix_sum_dimension(
+    machine,
+    register: str,
+    operator: Callable[[object, object], object],
+    dim: int,
+    *,
+    result: Optional[str] = None,
+) -> int:
+    """Inclusive scan of *register* along tuple dimension *dim*.
+
+    After the call, register *result* (default ``register + "_scan"``) at node
+    ``x`` holds ``A[x with dim-coordinate 0] op ... op A[x]``.  Returns the
+    number of mesh unit routes issued (``side - 1``).
+    """
+    mesh = machine.mesh
+    side = mesh.sides[dim]
+    result = result or f"{register}_scan"
+    routes_before = machine.stats.unit_routes
+
+    machine.copy_register(register, result)
+    machine.define_register("_scan_in", _EMPTY)
+
+    def fold(current, incoming):
+        if incoming is _EMPTY:
+            return current
+        return operator(incoming, current)
+
+    # Step s propagates the running prefix from coordinate s-1 to coordinate s:
+    # after step s, every node with dim-coordinate <= s holds its full prefix.
+    for step in range(1, side):
+        sender = lambda node, d=dim, s=step: node[d] == s - 1  # noqa: E731
+        receiver = lambda node, d=dim, s=step: node[d] == s  # noqa: E731
+        machine.route_dimension(result, "_scan_in", dim, +1, where=sender)
+        machine.apply(result, fold, result, "_scan_in", where=receiver)
+        machine.apply("_scan_in", lambda _v: _EMPTY, "_scan_in")
+    return machine.stats.unit_routes - routes_before
+
+
+def segmented_totals(
+    machine,
+    register: str,
+    operator: Callable[[object, object], object],
+    dim: int,
+    *,
+    result: Optional[str] = None,
+) -> int:
+    """Give every PE the combined value of its whole line along dimension *dim*.
+
+    Implemented as an inclusive scan followed by a reverse sweep that carries
+    the line total (held by the last PE of the line) back to every PE.
+    Returns the number of mesh unit routes issued (``2 * (side - 1)``).
+    """
+    mesh = machine.mesh
+    side = mesh.sides[dim]
+    result = result or f"{register}_total"
+    routes_before = machine.stats.unit_routes
+
+    prefix_sum_dimension(machine, register, operator, dim, result=result)
+    machine.define_register("_total_in", _EMPTY)
+
+    def adopt(current, incoming):
+        return current if incoming is _EMPTY else incoming
+
+    # The last PE of each line now holds the total; sweep it back toward 0.
+    for step in range(side - 1, 0, -1):
+        sender = lambda node, d=dim, s=step: node[d] == s  # noqa: E731
+        receiver = lambda node, d=dim, s=step: node[d] == s - 1  # noqa: E731
+        machine.route_dimension(result, "_total_in", dim, -1, where=sender)
+        machine.apply(result, adopt, result, "_total_in", where=receiver)
+        machine.apply("_total_in", lambda _v: _EMPTY, "_total_in")
+    return machine.stats.unit_routes - routes_before

@@ -1,0 +1,100 @@
+"""Data-movement kernels: shifts and rotations along a mesh dimension.
+
+A *shift* is the paper's basic SIMD-A unit route repeated ``steps`` times:
+data moves ``steps`` positions along one dimension; PEs that would push data
+off the mesh boundary simply drop it (no wraparound), and PEs near the
+opposite boundary receive a fill value.  A *rotation* wraps the data around
+logically even though the mesh has no wraparound links: the wrap-around
+messages travel back across the whole line, costing ``side - 1`` additional
+unit routes per step in the worst case (this is the standard way end-around
+communication is realised on open meshes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["shift_dimension", "rotate_dimension"]
+
+
+def shift_dimension(
+    machine,
+    register: str,
+    dim: int,
+    delta: int,
+    steps: int = 1,
+    *,
+    fill: object = None,
+    result: Optional[str] = None,
+) -> int:
+    """Shift *register* by *steps* positions along *dim* in direction *delta*.
+
+    After the call, register *result* (default ``register + "_shift"``) at
+    node ``x`` holds the original value of the node ``steps`` positions behind
+    it (or *fill* if that node does not exist).  Returns the number of mesh
+    unit routes issued (= *steps*).
+    """
+    if steps < 0:
+        raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+    if delta not in (-1, +1):
+        raise InvalidParameterError(f"delta must be +1 or -1, got {delta}")
+    mesh = machine.mesh
+    result = result or f"{register}_shift"
+    routes_before = machine.stats.unit_routes
+
+    machine.copy_register(register, result)
+    for _ in range(steps):
+        machine.define_register("_shift_in", fill)
+        machine.route_dimension(result, "_shift_in", dim, delta)
+        # Every PE replaces its value with what it received; PEs at the
+        # upstream boundary received nothing and take the fill value.
+        machine.copy_register("_shift_in", result)
+    return machine.stats.unit_routes - routes_before
+
+
+def rotate_dimension(
+    machine,
+    register: str,
+    dim: int,
+    steps: int = 1,
+    *,
+    result: Optional[str] = None,
+) -> int:
+    """Cyclically rotate *register* by *steps* positions along *dim* (toward +).
+
+    The wrap-around value is carried back across the line one hop at a time
+    (open mesh, no end-around link), so one rotation step costs ``side - 1``
+    unit routes for the carry plus 1 for the shift.  Returns the number of
+    mesh unit routes issued.
+    """
+    if steps < 0:
+        raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+    mesh = machine.mesh
+    side = mesh.sides[dim]
+    result = result or f"{register}_rot"
+    routes_before = machine.stats.unit_routes
+
+    machine.copy_register(register, result)
+    for _ in range(steps):
+        # 1. Save the values at the far boundary (they will wrap around).
+        machine.copy_register(result, "_wrap")
+        # 2. Ordinary shift by one in the + direction.
+        machine.define_register("_rot_in", None)
+        machine.route_dimension(result, "_rot_in", dim, +1)
+        machine.copy_register("_rot_in", result)
+        # 3. Carry the saved boundary value back to coordinate 0, one hop at a
+        #    time (only the boundary line participates, masked by coordinate).
+        for position in range(side - 1, 0, -1):
+            sender = lambda node, d=dim, p=position: node[d] == p  # noqa: E731
+            machine.route_dimension("_wrap", "_wrap", dim, -1, where=sender)
+        # 4. The wrapped value lands at coordinate 0.
+        machine.apply(
+            result,
+            lambda _cur, wrapped: wrapped,
+            result,
+            "_wrap",
+            where=lambda node, d=dim: node[d] == 0,
+        )
+    return machine.stats.unit_routes - routes_before

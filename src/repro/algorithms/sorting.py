@@ -1,0 +1,181 @@
+"""Sorting on mesh machines.
+
+The paper's conclusion discusses sorting: mesh sorting algorithms
+(Thompson/Kung, Nassimi/Sahni bitonic sort, shearsort) assume uniform meshes,
+and simulating them on the star graph goes through the Section-4 machinery.
+This module provides the concrete kernels the experiments measure:
+
+* :func:`odd_even_transposition_sort` -- the classic ``O(l)`` sort of every
+  line of a mesh along one dimension (all lines in parallel);
+* :func:`shearsort_2d` -- Scherson/Sen/Ma's shearsort on a two-dimensional
+  mesh (alternating snake-ordered row sorts and column sorts,
+  ``O((log r + 1) (r + c))`` unit routes), the algorithm the conclusion names
+  as the one 2-D method that does not rely on power-of-two side lengths;
+* :func:`sort_lines` -- convenience wrapper sorting every 1-D line of an
+  arbitrary mesh along a chosen dimension.
+
+All kernels run unchanged on :class:`~repro.simd.mesh_machine.MeshMachine`
+and :class:`~repro.simd.embedded.EmbeddedMeshMachine`; comparing their unit
+route ledgers is the sorting experiment of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "odd_even_transposition_sort",
+    "shearsort_2d",
+    "sort_lines",
+    "snake_order_rank",
+]
+
+
+def snake_order_rank(node: Sequence[int], sides: Sequence[int]) -> int:
+    """Rank of a 2-D mesh node in boustrophedon (snake) order.
+
+    Rows are traversed left-to-right on even rows and right-to-left on odd
+    rows; this is the output order of :func:`shearsort_2d`.
+    """
+    node = tuple(node)
+    sides = tuple(sides)
+    if len(node) != 2 or len(sides) != 2:
+        raise InvalidParameterError("snake order is defined for 2-D meshes only")
+    row, col = node
+    rows, cols = sides
+    if not (0 <= row < rows and 0 <= col < cols):
+        raise InvalidParameterError(f"{node!r} outside mesh of sides {sides!r}")
+    return row * cols + (col if row % 2 == 0 else cols - 1 - col)
+
+
+def _compare_exchange_phase(
+    machine,
+    register: str,
+    dim: int,
+    parity: int,
+    *,
+    ascending_mask=None,
+) -> None:
+    """One odd-even transposition phase along *dim*.
+
+    PEs whose coordinate along *dim* is even (phase parity 0) or odd (parity
+    1) are the *low* ends of the compared pairs.  Each pair exchanges values
+    (two unit routes) and then the low PE keeps the minimum and the high PE
+    the maximum -- unless *ascending_mask* marks the pair's line as
+    descending, in which case the roles are swapped (needed by shearsort's
+    snake-ordered row phase).
+    """
+    mesh = machine.mesh
+    side = mesh.sides[dim]
+
+    def is_low(node) -> bool:
+        coord = node[dim]
+        return coord % 2 == parity and coord + 1 < side
+
+    def is_high(node) -> bool:
+        coord = node[dim]
+        return coord % 2 == 1 - parity and coord > 0
+
+    sentinel = object()
+    machine.define_register("_cmp_in", sentinel)
+    # Low PEs send their value up; high PEs send theirs down.
+    machine.route_dimension(register, "_cmp_in", dim, +1, where=is_low)
+    machine.route_dimension(register, "_cmp_in", dim, -1, where=is_high)
+
+    if ascending_mask is None:
+        ascending_mask = lambda node: True  # noqa: E731
+
+    def resolve(node_role_low: bool):
+        def inner(current, incoming):
+            if incoming is sentinel:
+                return current
+            low, high = (current, incoming) if current <= incoming else (incoming, current)
+            return low if node_role_low else high
+        return inner
+
+    keep_small = resolve(True)
+    keep_large = resolve(False)
+
+    def low_rule(node) -> bool:
+        return is_low(node) and ascending_mask(node)
+
+    def low_rule_desc(node) -> bool:
+        return is_low(node) and not ascending_mask(node)
+
+    def high_rule(node) -> bool:
+        return is_high(node) and ascending_mask(node)
+
+    def high_rule_desc(node) -> bool:
+        return is_high(node) and not ascending_mask(node)
+
+    machine.apply(register, keep_small, register, "_cmp_in", where=low_rule)
+    machine.apply(register, keep_large, register, "_cmp_in", where=high_rule)
+    machine.apply(register, keep_large, register, "_cmp_in", where=low_rule_desc)
+    machine.apply(register, keep_small, register, "_cmp_in", where=high_rule_desc)
+
+
+def odd_even_transposition_sort(
+    machine,
+    register: str,
+    dim: int,
+    *,
+    ascending_mask=None,
+    phases: Optional[int] = None,
+) -> int:
+    """Sort every line of the mesh along *dim* by odd-even transposition.
+
+    Each of the ``side`` phases costs two unit routes (the pairwise exchange),
+    so the total is ``2 * side`` mesh unit routes.  *ascending_mask* is a
+    predicate on nodes selecting lines sorted in ascending coordinate order
+    (default: all); other lines are sorted descending -- shearsort uses this
+    for its snake-ordered row phase.  Returns the number of unit routes.
+    """
+    mesh = machine.mesh
+    side = mesh.sides[dim]
+    total_phases = phases if phases is not None else side
+    routes_before = machine.stats.unit_routes
+    for phase in range(total_phases):
+        _compare_exchange_phase(
+            machine, register, dim, phase % 2, ascending_mask=ascending_mask
+        )
+    return machine.stats.unit_routes - routes_before
+
+
+def sort_lines(machine, register: str, dim: int) -> int:
+    """Ascending sort of every 1-D line of the mesh along *dim* (all in parallel)."""
+    return odd_even_transposition_sort(machine, register, dim)
+
+
+def shearsort_2d(machine, register: str) -> int:
+    """Shearsort a two-dimensional mesh machine into snake order.
+
+    Alternates snake-ordered row sorts (even rows ascending, odd rows
+    descending along the column dimension) with ascending column sorts, for
+    ``ceil(log2(rows)) + 1`` rounds, finishing with one extra row phase.
+    After the call, reading *register* in :func:`snake_order_rank` order gives
+    the values in non-decreasing order.  Returns the number of mesh unit
+    routes issued.
+    """
+    mesh = machine.mesh
+    if mesh.ndim != 2:
+        raise InvalidParameterError(
+            f"shearsort_2d needs a 2-dimensional mesh, got {mesh.ndim} dimensions"
+        )
+    rows, _cols = mesh.sides
+    routes_before = machine.stats.unit_routes
+
+    def even_row(node) -> bool:
+        return node[0] % 2 == 0
+
+    rounds = max(1, math.ceil(math.log2(rows))) if rows > 1 else 1
+    for _ in range(rounds):
+        # Row phase: sort along the column dimension, snake-ordered.
+        odd_even_transposition_sort(machine, register, dim=1, ascending_mask=even_row)
+        # Column phase: sort along the row dimension, always ascending.
+        odd_even_transposition_sort(machine, register, dim=0)
+    # Final row phase leaves the data in snake order.
+    odd_even_transposition_sort(machine, register, dim=1, ascending_mask=even_row)
+    return machine.stats.unit_routes - routes_before

@@ -1,0 +1,56 @@
+"""Closed-form bounds and comparative analysis.
+
+Everything the paper states as a formula -- star/hypercube diameters and node
+counts, the dilation lower bound of Lemma 1, the broadcast bound, the
+Theorem 7/8/9 simulation slowdowns and the Appendix's optimal simulation
+dimension -- is implemented here so the experiments can print
+"paper bound vs measured value" rows instead of quoting asymptotics.
+"""
+
+from repro.analysis.bounds import (
+    star_num_nodes,
+    star_degree,
+    star_diameter,
+    hypercube_num_nodes,
+    hypercube_diameter,
+    mesh_diameter,
+    paper_mesh_max_degree,
+    dilation_lower_bound_exists,
+    broadcast_bound,
+)
+from repro.analysis.comparison import (
+    NetworkRow,
+    star_vs_hypercube_table,
+    closest_hypercube_for_star,
+)
+from repro.analysis.simulation_cost import (
+    SimulationCostRow,
+    uniform_simulation_table,
+    sorting_cost_estimates,
+)
+from repro.analysis.optimal_dimension import (
+    appendix_side_lengths,
+    appendix_cost,
+    optimal_dimension_table,
+)
+
+__all__ = [
+    "star_num_nodes",
+    "star_degree",
+    "star_diameter",
+    "hypercube_num_nodes",
+    "hypercube_diameter",
+    "mesh_diameter",
+    "paper_mesh_max_degree",
+    "dilation_lower_bound_exists",
+    "broadcast_bound",
+    "NetworkRow",
+    "star_vs_hypercube_table",
+    "closest_hypercube_for_star",
+    "SimulationCostRow",
+    "uniform_simulation_table",
+    "sorting_cost_estimates",
+    "appendix_side_lengths",
+    "appendix_cost",
+    "optimal_dimension_table",
+]

@@ -1,0 +1,100 @@
+"""Closed-form structural bounds quoted by the paper.
+
+These are the quantities Section 1/2 uses to motivate the star graph and
+Lemma 1 uses to rule out dilation-1 embeddings.  Every formula here has a
+matching *measured* counterpart in the experiments (enumerated on concrete
+instances), so the test-suite cross-checks formula against enumeration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "star_num_nodes",
+    "star_degree",
+    "star_diameter",
+    "star_num_edges",
+    "hypercube_num_nodes",
+    "hypercube_diameter",
+    "mesh_diameter",
+    "paper_mesh_max_degree",
+    "dilation_lower_bound_exists",
+    "broadcast_bound",
+]
+
+
+def star_num_nodes(n: int) -> int:
+    """``n!`` -- number of PEs connected by ``S_n`` (introduction)."""
+    check_positive_int(n, "n", minimum=1)
+    return math.factorial(n)
+
+
+def star_degree(n: int) -> int:
+    """``n - 1`` -- degree of every node of ``S_n``."""
+    check_positive_int(n, "n", minimum=2)
+    return n - 1
+
+
+def star_diameter(n: int) -> int:
+    """``floor(3 (n - 1) / 2)`` -- Section 2, property 2."""
+    check_positive_int(n, "n", minimum=2)
+    return (3 * (n - 1)) // 2
+
+
+def star_num_edges(n: int) -> int:
+    """``n! (n - 1) / 2`` edges of ``S_n``."""
+    check_positive_int(n, "n", minimum=2)
+    return math.factorial(n) * (n - 1) // 2
+
+
+def hypercube_num_nodes(n: int) -> int:
+    """``2**n`` -- nodes of the degree-``n`` hypercube (the comparison network)."""
+    check_positive_int(n, "n", minimum=1)
+    return 1 << n
+
+
+def hypercube_diameter(n: int) -> int:
+    """``n`` -- diameter of ``Q_n``."""
+    check_positive_int(n, "n", minimum=1)
+    return n
+
+
+def mesh_diameter(sides: Sequence[int]) -> int:
+    """``sum(side - 1)`` -- diameter of an open mesh."""
+    return sum(side - 1 for side in sides)
+
+
+def paper_mesh_max_degree(n: int) -> int:
+    """``2n - 3`` -- degree of the interior node ``(1, 1, ..., 1)`` of ``D_n`` (Lemma 1).
+
+    For ``n >= 3`` the dimension of length 2 contributes one neighbour and the
+    other ``n - 2`` dimensions contribute two each.
+    """
+    check_positive_int(n, "n", minimum=2)
+    if n == 2:
+        return 1
+    return 2 * n - 3
+
+
+def dilation_lower_bound_exists(n: int) -> bool:
+    """Lemma 1: a dilation-1 embedding of ``D_n`` into ``S_n`` exists iff ``n <= 2``.
+
+    The argument is the degree comparison ``2n - 3 <= n - 1``.
+    """
+    check_positive_int(n, "n", minimum=2)
+    return paper_mesh_max_degree(n) <= star_degree(n)
+
+
+def broadcast_bound(n: int) -> float:
+    """Reference curve for star-graph broadcasting: ``3 (n lg n - n + 1)`` unit routes.
+
+    Section 2, property 3 (quoting Akers & Krishnamurthy).  The lower-order
+    term is illegible in the scanned report; the dominant ``3 n lg n`` term is
+    what the experiments compare against.
+    """
+    check_positive_int(n, "n", minimum=2)
+    return 3.0 * (n * math.log2(n) - n + 1)

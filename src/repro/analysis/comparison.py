@@ -1,0 +1,73 @@
+"""Star graph versus hypercube comparison.
+
+The introduction (following Akers, Harel & Krishnamurthy) motivates the star
+graph by comparing it with the hypercube at equal degree: with degree ``n``
+the star graph ``S_{n+1}`` connects ``(n+1)!`` processors while the hypercube
+``Q_n`` connects only ``2**n``, and the star graph's diameter grows more
+slowly relative to its size.  :func:`star_vs_hypercube_table` materialises
+that comparison; :func:`closest_hypercube_for_star` answers the dual question
+("how large must a hypercube be to host as many nodes as ``S_n``?") used in
+the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.bounds import (
+    hypercube_diameter,
+    hypercube_num_nodes,
+    star_diameter,
+    star_num_nodes,
+)
+from repro.utils.validation import check_positive_int
+
+__all__ = ["NetworkRow", "star_vs_hypercube_table", "closest_hypercube_for_star"]
+
+
+@dataclass(frozen=True)
+class NetworkRow:
+    """One row of the comparison table."""
+
+    degree: int
+    star_n: int
+    star_nodes: int
+    star_diameter: int
+    hypercube_nodes: int
+    hypercube_diameter: int
+
+    @property
+    def node_ratio(self) -> float:
+        """How many times more processors the star graph connects at equal degree."""
+        return self.star_nodes / self.hypercube_nodes
+
+
+def star_vs_hypercube_table(max_degree: int) -> List[NetworkRow]:
+    """Rows for degree 2..*max_degree* comparing ``S_{degree+1}`` against ``Q_degree``."""
+    check_positive_int(max_degree, "max_degree", minimum=2)
+    rows: List[NetworkRow] = []
+    for degree in range(2, max_degree + 1):
+        n = degree + 1  # S_n has degree n - 1
+        rows.append(
+            NetworkRow(
+                degree=degree,
+                star_n=n,
+                star_nodes=star_num_nodes(n),
+                star_diameter=star_diameter(n),
+                hypercube_nodes=hypercube_num_nodes(degree),
+                hypercube_diameter=hypercube_diameter(degree),
+            )
+        )
+    return rows
+
+
+def closest_hypercube_for_star(n: int) -> int:
+    """Smallest hypercube dimension whose node count reaches ``n!``.
+
+    Used to compare diameters at (approximately) equal machine size rather
+    than equal degree: ``ceil(log2 n!)``.
+    """
+    check_positive_int(n, "n", minimum=2)
+    return math.ceil(math.log2(math.factorial(n)))

@@ -1,0 +1,106 @@
+"""Section-4 simulation-cost tables.
+
+Theorems 7-9 bound the per-step slowdown of running uniform-mesh algorithms
+on the star graph.  The functions here evaluate those bounds for concrete
+degrees and package them as table rows, alongside the measured contraction
+quality from :class:`repro.embedding.uniform.UniformMeshSimulation`, so the
+experiments can show the paper's asymptotics next to actual numbers.
+
+The conclusion's sorting discussion is covered by
+:func:`sorting_cost_estimates`: a ``d``-dimensional mesh sort running in
+``O(d * N^{1/d})`` steps costs, through Theorem 8 plus the dilation-3
+embedding, roughly ``3 * 2^d * d * max_i(l_i) * N^{1/d} / N^{1/d}`` star unit
+routes; the table reports those estimates for the uniform ``(n-1)``-dimensional
+mesh and for the Appendix's optimal dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.embedding.uniform import (
+    atallah_slowdown,
+    factorise_paper_mesh,
+    optimal_simulation_dimension,
+    uniform_on_paper_mesh_slowdown,
+)
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SimulationCostRow", "uniform_simulation_table", "sorting_cost_estimates"]
+
+
+@dataclass(frozen=True)
+class SimulationCostRow:
+    """Slowdown bounds for simulating a uniform mesh on ``S_n`` at one degree."""
+
+    n: int
+    num_processors: int
+    theorem7_slowdown: float
+    theorem8_slowdown: float
+    on_star_slowdown: float
+    paper_bound: float
+
+
+def uniform_simulation_table(degrees: List[int]) -> List[SimulationCostRow]:
+    """One :class:`SimulationCostRow` per degree in *degrees* (Theorem 9 table)."""
+    rows: List[SimulationCostRow] = []
+    for n in degrees:
+        check_positive_int(n, "n", minimum=2)
+        bounds = uniform_on_paper_mesh_slowdown(n)
+        rows.append(
+            SimulationCostRow(
+                n=n,
+                num_processors=math.factorial(n),
+                theorem7_slowdown=bounds["theorem7"],
+                theorem8_slowdown=bounds["theorem8"],
+                on_star_slowdown=bounds["on_star"],
+                paper_bound=bounds["paper_bound"],
+            )
+        )
+    return rows
+
+
+def sorting_cost_estimates(n: int) -> Dict[str, float]:
+    """Estimated star-graph unit routes for sorting ``N = n!`` keys (conclusion).
+
+    Three strategies are compared:
+
+    * ``uniform_full_dimension`` -- simulate the ``(n-1)``-dimensional uniform
+      mesh sort (``O((n-1) N^{1/(n-1)})`` mesh steps) through Theorem 8 and the
+      dilation-3 embedding;
+    * ``appendix_optimal`` -- reshape ``D_n`` into the Appendix's
+      ``d*``-dimensional mesh (``d* ~ sqrt(log N)/2``) and run an
+      ``O(d N^{1/d})`` sort there, again through Theorem 8 and dilation 3;
+    * ``shearsort_2d`` -- reshape into the Appendix's 2-dimensional mesh and
+      run shearsort, ``O((log r + 1)(r + c))`` mesh steps.
+
+    All values are unit-route *estimates from the paper's bounds*, not
+    measurements; the measured counterpart is the sorting experiment.
+    """
+    check_positive_int(n, "n", minimum=3)
+    total = math.factorial(n)
+    dilation = 3
+
+    d_full = n - 1
+    steps_full = d_full * (total ** (1.0 / d_full))
+    slow_full = atallah_slowdown(tuple(range(2, n + 1)), account_dimension=True)
+    uniform_full = dilation * slow_full * steps_full
+
+    d_opt = optimal_simulation_dimension(n)
+    sides_opt = factorise_paper_mesh(n, d_opt)
+    steps_opt = d_opt * (total ** (1.0 / d_opt))
+    slow_opt = atallah_slowdown(sides_opt, account_dimension=True)
+    appendix_optimal = dilation * slow_opt * steps_opt
+
+    rows, cols = factorise_paper_mesh(n, 2) if n >= 3 else (total, 1)
+    shear_steps = (math.log2(max(rows, 2)) + 1) * (rows + cols)
+    shearsort = dilation * shear_steps
+
+    return {
+        "uniform_full_dimension": uniform_full,
+        "appendix_optimal": appendix_optimal,
+        "appendix_optimal_dimension": float(d_opt),
+        "shearsort_2d": shearsort,
+    }

@@ -1,0 +1,160 @@
+"""Embedding quality metrics.
+
+Section 3.1 of the paper defines:
+
+* **expansion** -- ``|V(S)| / |V(G)|``;
+* **dilation** -- the maximum, over guest edges, of the length of the shortest
+  host path between the images of the endpoints.  (For a concrete embedding
+  with explicit edge paths we also report the maximum *assigned* path length,
+  which upper-bounds the dilation; for the paper's embedding the two agree.)
+* **congestion** -- the maximum, over host edges, of the number of assigned
+  guest-edge paths that traverse it.
+
+We additionally report the *average* dilation and the host-node load (how many
+guest nodes map to each host node -- always one for expansion-1 embeddings),
+which are standard in the embedding literature and useful in the experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.embedding.base import Embedding
+from repro.topology.base import Node
+from repro.utils.itertools_ext import pairwise
+
+__all__ = [
+    "EmbeddingMetrics",
+    "measure_embedding",
+    "dilation",
+    "expansion",
+    "congestion",
+    "average_dilation",
+    "verify_embedding",
+]
+
+UndirectedEdge = Tuple[Node, Node]
+
+
+def _canonical_edge(u: Node, v: Node) -> UndirectedEdge:
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class EmbeddingMetrics:
+    """All quality measures of one embedding, computed by :func:`measure_embedding`."""
+
+    name: str
+    guest_nodes: int
+    host_nodes: int
+    guest_edges: int
+    expansion: float
+    dilation: int
+    shortest_path_dilation: int
+    average_dilation: float
+    congestion: int
+    max_load: int
+    edge_length_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view, convenient for table rendering and JSON dumps."""
+        return {
+            "name": self.name,
+            "guest_nodes": self.guest_nodes,
+            "host_nodes": self.host_nodes,
+            "guest_edges": self.guest_edges,
+            "expansion": self.expansion,
+            "dilation": self.dilation,
+            "shortest_path_dilation": self.shortest_path_dilation,
+            "average_dilation": self.average_dilation,
+            "congestion": self.congestion,
+            "max_load": self.max_load,
+            "edge_length_histogram": dict(self.edge_length_histogram),
+        }
+
+
+def expansion(embedding: Embedding) -> float:
+    """``|V(host)| / |V(guest)|``."""
+    return embedding.host.num_nodes / embedding.guest.num_nodes
+
+
+def dilation(embedding: Embedding) -> int:
+    """Maximum length of the host paths assigned to guest edges."""
+    longest = 0
+    for _, path in embedding.edge_paths():
+        longest = max(longest, len(path) - 1)
+    return longest
+
+
+def average_dilation(embedding: Embedding) -> float:
+    """Mean assigned path length over all guest edges."""
+    total = 0
+    count = 0
+    for _, path in embedding.edge_paths():
+        total += len(path) - 1
+        count += 1
+    return total / count if count else 0.0
+
+
+def congestion(embedding: Embedding) -> int:
+    """Maximum number of assigned paths crossing any single host edge."""
+    counter: Counter = Counter()
+    for _, path in embedding.edge_paths():
+        for a, b in pairwise(path):
+            counter[_canonical_edge(a, b)] += 1
+    return max(counter.values()) if counter else 0
+
+
+def verify_embedding(embedding: Embedding, *, max_dilation: Optional[int] = None) -> bool:
+    """Validate the embedding and optionally assert a dilation bound.
+
+    Returns True on success; raises :class:`repro.exceptions.EmbeddingError`
+    (from :meth:`Embedding.validate`) or
+    :class:`repro.exceptions.DilationViolationError` on failure.
+    """
+    from repro.exceptions import DilationViolationError
+
+    embedding.validate()
+    if max_dilation is not None:
+        actual = dilation(embedding)
+        if actual > max_dilation:
+            raise DilationViolationError(
+                f"embedding {embedding.name!r} has dilation {actual} > claimed {max_dilation}"
+            )
+    return True
+
+
+def measure_embedding(embedding: Embedding) -> EmbeddingMetrics:
+    """Compute every metric in a single pass over the edge paths."""
+    edge_lengths: Counter = Counter()
+    link_usage: Counter = Counter()
+    shortest_dilation = 0
+    guest_edges = 0
+    for (u, v), path in embedding.edge_paths():
+        guest_edges += 1
+        length = len(path) - 1
+        edge_lengths[length] += 1
+        for a, b in pairwise(path):
+            link_usage[_canonical_edge(a, b)] += 1
+        shortest = embedding.host.distance(embedding.map_node(u), embedding.map_node(v))
+        shortest_dilation = max(shortest_dilation, shortest)
+
+    images = embedding.vertex_images()
+    load: Counter = Counter(images.values())
+
+    total_length = sum(length * count for length, count in edge_lengths.items())
+    return EmbeddingMetrics(
+        name=embedding.name,
+        guest_nodes=embedding.guest.num_nodes,
+        host_nodes=embedding.host.num_nodes,
+        guest_edges=guest_edges,
+        expansion=embedding.host.num_nodes / embedding.guest.num_nodes,
+        dilation=max(edge_lengths) if edge_lengths else 0,
+        shortest_path_dilation=shortest_dilation,
+        average_dilation=(total_length / guest_edges) if guest_edges else 0.0,
+        congestion=max(link_usage.values()) if link_usage else 0,
+        max_load=max(load.values()) if load else 0,
+        edge_length_histogram=dict(sorted(edge_lengths.items())),
+    )

@@ -1,0 +1,97 @@
+"""Host-path construction for the mesh-to-star embedding.
+
+Lemma 2 of the paper shows that two permutations differing by a *symbol*
+transposition are at star-graph distance 1 (when one of the symbols is at the
+front) or exactly 3 (otherwise), and its proof exhibits the canonical 3-hop
+path through the two permutations that bring each of the two symbols to the
+front in turn.  Every mesh edge of the embedding is mapped to that canonical
+path; Lemma 5 then shows that the paths used by a single mesh *unit route*
+(all processors stepping along the same dimension in the same direction) never
+collide, which is what :func:`unit_route_paths` materialises and what the SIMD
+simulator checks at run time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.permutations.generators import transposition_to_star_routes
+from repro.utils.validation import check_in_range
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+Node = Tuple[int, ...]
+
+__all__ = ["transposition_path", "mesh_edge_path", "unit_route_paths"]
+
+
+def transposition_path(node: Sequence[int], a: int, b: int) -> List[Node]:
+    """The canonical star-graph path from *node* to ``node_(a,b)`` (Lemma 2).
+
+    Returns the full node sequence including the start node; its length minus
+    one is 1 if either symbol is at the front of *node* and 3 otherwise.
+
+    >>> transposition_path((3, 2, 1, 0), 3, 0)
+    [(3, 2, 1, 0), (0, 2, 1, 3)]
+    >>> len(transposition_path((3, 2, 1, 0), 2, 1)) - 1
+    3
+    """
+    node = tuple(node)
+    return [node] + transposition_to_star_routes(node, a, b)
+
+
+def mesh_edge_path(
+    embedding: "MeshToStarEmbedding", u: Sequence[int], v: Sequence[int]
+) -> List[Node]:
+    """The host path assigned to the mesh edge ``(u, v)`` by the embedding.
+
+    The two mesh endpoints map to permutations differing by the symbol
+    transposition identified by Lemma 3; the path is the canonical Lemma-2
+    path for that transposition, starting at ``m(u)`` and ending at ``m(v)``.
+    """
+    u = embedding.guest.validate_node(tuple(u))
+    v = embedding.guest.validate_node(tuple(v))
+    a, b = embedding.edge_transposition(u, v)
+    path = transposition_path(embedding.map_node(u), a, b)
+    if path[-1] != embedding.map_node(v):  # pragma: no cover - guarded by tests
+        raise InvalidParameterError(
+            f"Lemma 3 transposition ({a}, {b}) does not connect m({u!r}) to m({v!r})"
+        )
+    return path
+
+
+def unit_route_paths(
+    embedding: "MeshToStarEmbedding", dimension: int, delta: int
+) -> Dict[Node, List[Node]]:
+    """The star-graph paths realising one full mesh unit route.
+
+    A unit route on the SIMD-A mesh moves data from every processor to its
+    neighbour ``delta`` (+1 or -1) along the paper's *dimension* (1-based).
+    Only mesh nodes that actually have such a neighbour participate (the mesh
+    has no wraparound).
+
+    Returns
+    -------
+    dict
+        ``{source mesh node: [star nodes of the path from m(source) to
+        m(destination)]}``.  Each path has length 1 or 3; Lemma 5 guarantees
+        (and :func:`repro.simd.conflicts.check_unit_route_conflicts` verifies)
+        that, hop by hop, no two paths traverse the same directed star-graph
+        link.
+    """
+    if delta not in (+1, -1):
+        raise InvalidParameterError(f"delta must be +1 or -1, got {delta}")
+    n = embedding.n
+    check_in_range(dimension, "dimension", 1, n - 1)
+    index = n - 1 - dimension
+    paths: Dict[Node, List[Node]] = {}
+    for source in embedding.guest.nodes():
+        new_value = source[index] + delta
+        if not (0 <= new_value <= dimension):
+            continue
+        destination = list(source)
+        destination[index] = new_value
+        paths[source] = mesh_edge_path(embedding, source, tuple(destination))
+    return paths

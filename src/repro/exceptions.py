@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with one ``except`` clause while still
+being able to distinguish configuration problems (:class:`InvalidParameterError`),
+malformed node identifiers (:class:`InvalidNodeError`), embedding problems
+(:class:`EmbeddingError`) and SIMD simulation faults (:class:`SimulationError`,
+:class:`RouteConflictError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "InvalidNodeError",
+    "InvalidPermutationError",
+    "EmbeddingError",
+    "DilationViolationError",
+    "SimulationError",
+    "RouteConflictError",
+    "MaskError",
+    "ProgramError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A constructor or function argument is outside its documented domain."""
+
+
+class InvalidNodeError(ReproError, ValueError):
+    """A node identifier does not belong to the topology it was used with."""
+
+
+class InvalidPermutationError(InvalidNodeError):
+    """A sequence is not a permutation of ``0..n-1``."""
+
+
+class EmbeddingError(ReproError):
+    """A graph embedding is malformed (non-injective, missing nodes, bad paths...)."""
+
+
+class DilationViolationError(EmbeddingError):
+    """An edge of the guest graph was mapped to a path longer than the claimed dilation."""
+
+
+class SimulationError(ReproError):
+    """The SIMD machine simulator was driven into an inconsistent state."""
+
+
+class RouteConflictError(SimulationError):
+    """Two messages tried to use the same directed link during one unit route.
+
+    The paper's Lemma 5 proves that the mesh-on-star simulation never triggers
+    this; the simulator raises it eagerly so that the property is *checked*
+    rather than assumed.
+    """
+
+
+class MaskError(SimulationError):
+    """An activity mask does not match the machine's processing elements."""
+
+
+class ProgramError(SimulationError):
+    """A SIMD program referenced an undefined register or malformed instruction."""

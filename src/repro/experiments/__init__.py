@@ -1,0 +1,26 @@
+"""Experiment harness.
+
+Every figure, table and quantitative claim of the paper has a module here
+that regenerates it from the library.  Each experiment module exposes a
+``run(**params) -> ExperimentResult`` function; the registry maps stable
+experiment identifiers (``FIG7``, ``THM4``, ...) to those functions, and the
+command-line entry point (``repro-star``, see :mod:`repro.experiments.cli`)
+lists and runs them and renders the results as plain-text tables.
+
+The benchmark suite under ``benchmarks/`` wraps the same ``run`` functions in
+pytest-benchmark fixtures, so "the code that regenerates Table/Figure X" and
+"the benchmark for Table/Figure X" are literally the same code path.
+"""
+
+from repro.experiments.report import ExperimentResult, format_table, render_result
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment, list_experiments
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "render_result",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,46 @@
+"""Measurement experiments for the paper's quantitative claims.
+
+One module per claim:
+
+========  =====================================================  =========================
+ID        Paper claim                                            Module
+========  =====================================================  =========================
+LEM1      No dilation-1 embedding for ``n > 2``                  ``exp_lemma1_no_dilation1``
+LEM2      Transposition distance is 1 or 3                       ``exp_lemma2_transposition_distance``
+THM4      The embedding has dilation 3 (and expansion 1)         ``exp_dilation``
+THM6      A mesh unit route costs <= 3 star unit routes          ``exp_unit_route_simulation``
+PROP-D    Star diameter = floor(3(n-1)/2); regular, symmetric,   ``exp_star_properties``
+          maximally fault tolerant
+PROP-B    Broadcasting within the 3 n lg n bound                 ``exp_broadcast``
+THM7/8/9  Uniform-mesh simulation slowdowns                      ``exp_uniform_mesh``
+APP       Appendix factorisation and optimal dimension           ``exp_optimal_dimension``
+CONC      Sorting on the star graph through the embedding        ``exp_sorting``
+CMP       Star vs hypercube comparison (introduction)            ``exp_star_vs_hypercube``
+========  =====================================================  =========================
+"""
+
+from repro.experiments.claims import (  # noqa: F401 (re-exported for the registry)
+    exp_lemma1_no_dilation1,
+    exp_lemma2_transposition_distance,
+    exp_dilation,
+    exp_unit_route_simulation,
+    exp_star_properties,
+    exp_broadcast,
+    exp_uniform_mesh,
+    exp_optimal_dimension,
+    exp_sorting,
+    exp_star_vs_hypercube,
+)
+
+__all__ = [
+    "exp_lemma1_no_dilation1",
+    "exp_lemma2_transposition_distance",
+    "exp_dilation",
+    "exp_unit_route_simulation",
+    "exp_star_properties",
+    "exp_broadcast",
+    "exp_uniform_mesh",
+    "exp_optimal_dimension",
+    "exp_sorting",
+    "exp_star_vs_hypercube",
+]

@@ -1,0 +1,90 @@
+"""LEM2 -- Lemma 2: the star-graph distance between ``pi`` and ``pi_(i,j)`` is 1 or 3.
+
+The experiment enumerates, for each degree ``n``, every node of ``S_n`` and
+every pair of symbols (or a random sample when the full enumeration would be
+large), computes (a) the closed-form distance, (b) the BFS distance for the
+smallest degree as an oracle, and (c) the length of the canonical Lemma-2 path
+used by the embedding, and checks that
+
+* every distance is exactly 1 or exactly 3,
+* distance 1 occurs precisely when one of the two symbols sits at the front,
+* the canonical path length equals the distance (i.e. the constructed path is
+  shortest).
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Dict
+
+from repro.embedding.paths import transposition_path
+from repro.experiments.report import ExperimentResult
+from repro.permutations.permutation import swap_symbols
+from repro.topology.nx_adapter import bfs_distances
+from repro.topology.star import StarGraph
+
+__all__ = ["run"]
+
+
+def run(degrees=(3, 4, 5), sample_nodes: int = 0, seed: int = 0) -> ExperimentResult:
+    """Check Lemma 2 exhaustively for the given degrees (sampled if *sample_nodes* > 0)."""
+    rng = random.Random(seed)
+    rows = []
+    overall_ok = True
+    for n in degrees:
+        star = StarGraph(n)
+        nodes = list(star.nodes())
+        if sample_nodes and len(nodes) > sample_nodes:
+            nodes = rng.sample(nodes, sample_nodes)
+        histogram: Dict[int, int] = {}
+        canonical_shortest = True
+        front_rule_holds = True
+        bfs_oracle_ok = True
+        oracle = bfs_distances(star, star.identity) if n <= 5 else None
+        for node in nodes:
+            for a, b in combinations(range(n), 2):
+                target = swap_symbols(node, a, b)
+                distance = star.distance(node, target)
+                histogram[distance] = histogram.get(distance, 0) + 1
+                path = transposition_path(node, a, b)
+                if len(path) - 1 != distance:
+                    canonical_shortest = False
+                expected_one = node[0] in (a, b)
+                if (distance == 1) != expected_one:
+                    front_rule_holds = False
+                if oracle is not None and node == star.identity:
+                    if oracle[target] != distance:
+                        bfs_oracle_ok = False
+        only_one_or_three = set(histogram) <= {1, 3}
+        overall_ok = overall_ok and only_one_or_three and canonical_shortest and front_rule_holds and bfs_oracle_ok
+        rows.append(
+            (
+                n,
+                len(nodes),
+                histogram.get(1, 0),
+                histogram.get(3, 0),
+                sum(v for k, v in histogram.items() if k not in (1, 3)),
+                "yes" if canonical_shortest else "NO",
+                "yes" if front_rule_holds else "NO",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="LEM2",
+        title="Lemma 2: distance between pi and pi_(i,j) is 1 or 3",
+        headers=[
+            "n",
+            "nodes checked",
+            "pairs at distance 1",
+            "pairs at distance 3",
+            "pairs at other distances",
+            "canonical path shortest",
+            "distance-1 iff symbol at front",
+        ],
+        rows=rows,
+        summary={"claim_holds": overall_ok},
+        notes=[
+            "Distances use the cycle-structure closed form; for the identity node of small degrees "
+            "they are cross-checked against networkx BFS.",
+        ],
+    )

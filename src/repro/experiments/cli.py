@@ -1,0 +1,98 @@
+"""Command-line entry point: ``repro-star``.
+
+Usage
+-----
+``repro-star list``
+    Print the available experiment identifiers with their titles.
+``repro-star run FIG7 THM4 ...``
+    Run the named experiments and print their tables; ``run all`` runs the
+    whole registry (this is how EXPERIMENTS.md's measured columns were
+    produced).
+``repro-star run all --fast``
+    Same, but with reduced problem sizes for a quick sanity pass.
+
+The CLI writes plain text to stdout; redirect it to a file to archive a run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.experiments.report import render_result
+
+__all__ = ["main", "build_parser"]
+
+#: Reduced parameter sets used by ``--fast`` (keeps every experiment under a second).
+FAST_PARAMS = {
+    "FIG2": {"n": 4},
+    "FIG3": {"n": 4},
+    "TAB1": {"n": 5},
+    "LEM1": {"max_n": 6},
+    "LEM2": {"degrees": (3, 4)},
+    "THM4": {"degrees": (3, 4, 5)},
+    "THM6": {"degrees": (3, 4)},
+    "PROP-D": {"degrees": (3, 4), "fault_trials": 5},
+    "PROP-B": {"degrees": (3, 4)},
+    "THM9": {"degrees": (3, 4, 5, 6), "measured_degrees": (3, 4)},
+    "APP": {"degrees": (5, 6, 7)},
+    "CONC": {"degrees": (4,)},
+    "CMP": {"max_degree": 7, "embedding_degrees": (3, 4)},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-star",
+        description="Regenerate the figures, tables and claims of "
+        "'Embedding Meshes on the Star Graph' (Ranka, Wang, Yeh 1989).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'list') or 'all'",
+    )
+    run_parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use reduced problem sizes (quick sanity pass)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id in list_experiments():
+            title = EXPERIMENTS[experiment_id].__module__.rsplit(".", 1)[-1]
+            print(f"{experiment_id:8s} {title}")
+        return 0
+
+    requested = args.experiments
+    if len(requested) == 1 and requested[0].lower() == "all":
+        requested = list_experiments()
+
+    exit_code = 0
+    for experiment_id in requested:
+        params = FAST_PARAMS.get(experiment_id.upper(), {}) if args.fast else {}
+        result = run_experiment(experiment_id, **params)
+        print(render_result(result))
+        print()
+        if not result.summary.get("claim_holds", True):
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Registry of all experiments.
+
+Maps the stable experiment identifiers used throughout DESIGN.md and
+EXPERIMENTS.md to the ``run`` callables of the experiment modules.  The CLI,
+the test-suite and the benchmark harness all go through this table, so adding
+an experiment in one place makes it visible everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.report import ExperimentResult
+from repro.experiments.figures import (
+    figure2_star_graph,
+    figure3_mesh,
+    figure4_example_embedding,
+    figure5_6_conversions,
+    figure7_mapping_table,
+    table1_exchange_sequences,
+)
+from repro.experiments.claims import (
+    exp_broadcast,
+    exp_dilation,
+    exp_lemma1_no_dilation1,
+    exp_lemma2_transposition_distance,
+    exp_optimal_dimension,
+    exp_sorting,
+    exp_star_properties,
+    exp_star_vs_hypercube,
+    exp_uniform_mesh,
+    exp_unit_route_simulation,
+)
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "list_experiments"]
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+#: experiment id -> (title, run function)
+EXPERIMENTS: Dict[str, ExperimentFn] = {
+    "FIG2": figure2_star_graph.run,
+    "FIG3": figure3_mesh.run,
+    "FIG4": figure4_example_embedding.run,
+    "FIG5": figure5_6_conversions.run,
+    "FIG7": figure7_mapping_table.run,
+    "TAB1": table1_exchange_sequences.run,
+    "LEM1": exp_lemma1_no_dilation1.run,
+    "LEM2": exp_lemma2_transposition_distance.run,
+    "THM4": exp_dilation.run,
+    "THM6": exp_unit_route_simulation.run,
+    "PROP-D": exp_star_properties.run,
+    "PROP-B": exp_broadcast.run,
+    "THM9": exp_uniform_mesh.run,
+    "APP": exp_optimal_dimension.run,
+    "CONC": exp_sorting.run,
+    "CMP": exp_star_vs_hypercube.run,
+}
+
+
+def list_experiments() -> List[str]:
+    """All experiment identifiers in registry order."""
+    return list(EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    """Look up the run function for *experiment_id* (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiment(experiment_id: str, **params) -> ExperimentResult:
+    """Run one experiment by id and return its result."""
+    return get_experiment(experiment_id)(**params)

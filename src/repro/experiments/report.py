@@ -1,0 +1,101 @@
+"""Result containers and plain-text table rendering for experiments.
+
+Every experiment returns an :class:`ExperimentResult`; the CLI and the
+EXPERIMENTS.md generation render it with :func:`render_result`, which produces
+fixed-width text tables (the paper's artefacts are all small tables or
+figures, so plain text is the faithful output format).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "render_result"]
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment.
+
+    Attributes
+    ----------
+    experiment_id:
+        Stable identifier matching DESIGN.md's per-experiment index
+        (``FIG7``, ``THM4``, ...).
+    title:
+        Human-readable title (usually the paper artefact name).
+    headers:
+        Column names of the result table.
+    rows:
+        Table rows; cells may be any object with a sensible ``str``.
+    notes:
+        Free-form remarks (paper-vs-measured commentary, caveats).
+    summary:
+        Key/value pairs summarising the outcome (used by tests and
+        EXPERIMENTS.md, e.g. ``{"dilation": 3, "claim_holds": True}``).
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Sequence[object]]
+    notes: List[str] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    def assert_claim(self) -> None:
+        """Raise AssertionError unless the experiment's headline claim holds.
+
+        Experiments set ``summary["claim_holds"]``; tests call this helper.
+        """
+        if not self.summary.get("claim_holds", False):
+            raise AssertionError(
+                f"experiment {self.experiment_id} reports the paper claim does not hold: "
+                f"{self.summary!r}"
+            )
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e6 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:  # pragma: no cover - ragged rows are a programming error
+                widths.append(len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    body = [line(list(headers)), separator]
+    body.extend(line(row) for row in str_rows)
+    return "\n".join(body)
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as a plain-text report section."""
+    parts = [f"[{result.experiment_id}] {result.title}", ""]
+    if result.rows:
+        parts.append(format_table(result.headers, result.rows))
+    if result.summary:
+        parts.append("")
+        parts.append("summary:")
+        for key, value in result.summary.items():
+            parts.append(f"  {key}: {_format_cell(value)}")
+    if result.notes:
+        parts.append("")
+        for note in result.notes:
+            parts.append(f"note: {note}")
+    return "\n".join(parts)

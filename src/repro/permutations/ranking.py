@@ -1,0 +1,116 @@
+"""Ranking and unranking permutations via the Lehmer code.
+
+The SIMD simulator gives every star-graph node a dense integer id in
+``0..n!-1`` so that register files can be plain lists.  The bijection between
+permutations and such ids is the classic *Lehmer code* (factorial number
+system): digit ``i`` of the code counts how many symbols to the right of tuple
+position ``i`` are smaller than the symbol at position ``i``.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations as _itertools_permutations
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError, InvalidPermutationError
+from repro.permutations.permutation import is_permutation
+
+__all__ = [
+    "lehmer_code",
+    "lehmer_decode",
+    "permutation_rank",
+    "permutation_unrank",
+    "all_permutations",
+]
+
+
+def lehmer_code(perm: Sequence[int]) -> Tuple[int, ...]:
+    """The Lehmer code of a permutation.
+
+    Entry ``i`` of the code is the number of positions ``j > i`` whose symbol
+    is smaller than the symbol at position ``i``.  The last entry is always 0.
+
+    >>> lehmer_code((2, 0, 1))
+    (2, 0, 0)
+    """
+    perm = tuple(perm)
+    if not is_permutation(perm):
+        raise InvalidPermutationError(f"{perm!r} is not a permutation")
+    n = len(perm)
+    code: List[int] = []
+    for i in range(n):
+        smaller_to_right = sum(1 for j in range(i + 1, n) if perm[j] < perm[i])
+        code.append(smaller_to_right)
+    return tuple(code)
+
+
+def lehmer_decode(code: Sequence[int]) -> Tuple[int, ...]:
+    """Inverse of :func:`lehmer_code`.
+
+    >>> lehmer_decode((2, 0, 0))
+    (2, 0, 1)
+    """
+    code = tuple(code)
+    n = len(code)
+    available = list(range(n))
+    perm: List[int] = []
+    for i, c in enumerate(code):
+        if not (0 <= c < n - i):
+            raise InvalidParameterError(
+                f"Lehmer digit {c} at index {i} out of range for degree {n}"
+            )
+        perm.append(available.pop(c))
+    return tuple(perm)
+
+
+def permutation_rank(perm: Sequence[int]) -> int:
+    """Lexicographic rank of *perm* among all permutations of its degree.
+
+    The identity has rank 0 and ``(n-1, n-2, ..., 0)`` has rank ``n! - 1``.
+
+    >>> permutation_rank((0, 1, 2))
+    0
+    >>> permutation_rank((2, 1, 0))
+    5
+    """
+    code = lehmer_code(perm)
+    n = len(code)
+    rank = 0
+    for i, c in enumerate(code):
+        rank += c * math.factorial(n - 1 - i)
+    return rank
+
+
+def permutation_unrank(rank: int, n: int) -> Tuple[int, ...]:
+    """Inverse of :func:`permutation_rank` for degree *n*.
+
+    >>> permutation_unrank(0, 3)
+    (0, 1, 2)
+    >>> permutation_unrank(5, 3)
+    (2, 1, 0)
+    """
+    if isinstance(rank, bool) or not isinstance(rank, int):
+        raise InvalidParameterError("rank must be an int")
+    if n < 1:
+        raise InvalidParameterError(f"degree must be >= 1, got {n}")
+    total = math.factorial(n)
+    if not (0 <= rank < total):
+        raise InvalidParameterError(f"rank must be in [0, {total}), got {rank}")
+    code: List[int] = []
+    for i in range(n):
+        f = math.factorial(n - 1 - i)
+        digit, rank = divmod(rank, f)
+        code.append(digit)
+    return lehmer_decode(code)
+
+
+def all_permutations(n: int) -> Iterator[Tuple[int, ...]]:
+    """Iterate over all permutations of ``0..n-1`` in lexicographic order.
+
+    The order agrees with :func:`permutation_rank`: the ``k``-th yielded tuple
+    has rank ``k``.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"degree must be >= 1, got {n}")
+    return iter(_itertools_permutations(range(n)))

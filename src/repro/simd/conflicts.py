@@ -1,0 +1,87 @@
+"""Link- and node-conflict detection for unit routes.
+
+A unit route on an SIMD machine lets every PE transmit at most one message to
+one directly connected PE.  Two messages therefore conflict when, during the
+same unit route, they
+
+* traverse the same *directed link* (the sender would have to transmit twice), or
+* arrive at the same PE (the receiver would have to accept two messages).
+
+Lemma 5 of the paper proves that the 3-hop paths realising one mesh unit route
+through the embedding never conflict in either sense.  The simulator does not
+take this on faith: :func:`check_unit_route_conflicts` inspects the messages of
+every unit route and raises :class:`repro.exceptions.RouteConflictError` on the
+first violation, so the property is exercised by every simulated program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import RouteConflictError
+from repro.topology.base import Node
+
+__all__ = ["UnitRouteStep", "check_unit_route_conflicts", "paths_to_steps"]
+
+
+@dataclass(frozen=True)
+class UnitRouteStep:
+    """The set of point-to-point moves performed in one unit route.
+
+    Each move is a ``(source, destination)`` pair of adjacent nodes.  The
+    payloads are irrelevant to conflict detection and are not stored here.
+    """
+
+    moves: Tuple[Tuple[Node, Node], ...]
+
+    @property
+    def num_messages(self) -> int:
+        """Number of messages carried by this unit route."""
+        return len(self.moves)
+
+
+def check_unit_route_conflicts(step: UnitRouteStep) -> None:
+    """Raise :class:`RouteConflictError` if *step* is not a legal unit route.
+
+    Checks that no PE sends more than one message, that no PE receives more
+    than one message, and (implied by the first) that no directed link carries
+    two messages.
+    """
+    senders: Dict[Node, Node] = {}
+    receivers: Dict[Node, Node] = {}
+    for source, destination in step.moves:
+        if source in senders:
+            raise RouteConflictError(
+                f"PE {source!r} transmits twice in one unit route "
+                f"(to {senders[source]!r} and {destination!r})"
+            )
+        if destination in receivers:
+            raise RouteConflictError(
+                f"PE {destination!r} receives twice in one unit route "
+                f"(from {receivers[destination]!r} and {source!r})"
+            )
+        senders[source] = destination
+        receivers[destination] = source
+
+
+def paths_to_steps(paths: Iterable[Sequence[Node]]) -> List[UnitRouteStep]:
+    """Slice a set of equal-progress paths into synchronous unit-route steps.
+
+    Path ``p`` contributes the move ``(p[t], p[t+1])`` to step ``t``.  Paths
+    shorter than the longest one simply stop contributing once their message
+    has arrived (the message rests at its destination).  The resulting list
+    has one :class:`UnitRouteStep` per hop of the longest path.
+    """
+    materialised = [list(path) for path in paths]
+    if not materialised:
+        return []
+    longest = max(len(path) for path in materialised)
+    steps: List[UnitRouteStep] = []
+    for t in range(longest - 1):
+        moves: List[Tuple[Node, Node]] = []
+        for path in materialised:
+            if t + 1 < len(path):
+                moves.append((path[t], path[t + 1]))
+        steps.append(UnitRouteStep(moves=tuple(moves)))
+    return steps

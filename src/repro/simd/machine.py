@@ -1,0 +1,262 @@
+"""The topology-generic SIMD machine.
+
+A :class:`SIMDMachine` owns
+
+* one *processing element* per topology node, each holding a set of named
+  registers (plain Python values -- the paper's PEs only need basic
+  arithmetic, which the host Python performs);
+* a ledger of unit routes / local operations
+  (:class:`~repro.simd.trace.RouteStatistics`);
+* the two communication primitives of the model:
+  :meth:`SIMDMachine.route_moves` executes one unit route given explicit
+  ``(source, destination)`` moves (conflict-checked), and
+  :meth:`SIMDMachine.route_paths` executes a set of multi-hop paths as a
+  sequence of synchronous unit routes (this is how a mesh unit route is
+  replayed on the star graph).
+
+Subclasses add the topology-specific "move everybody along dimension j"
+helpers (:class:`~repro.simd.star_machine.StarMachine`,
+:class:`~repro.simd.mesh_machine.MeshMachine`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ProgramError, SimulationError
+from repro.simd.conflicts import UnitRouteStep, check_unit_route_conflicts, paths_to_steps
+from repro.simd.masks import Mask, MaskSource
+from repro.simd.trace import RouteStatistics
+from repro.topology.base import Node, Topology
+
+__all__ = ["SIMDMachine"]
+
+RegisterInit = Union[Mapping[Node, object], Callable[[Node], object], object]
+
+
+class SIMDMachine:
+    """An SIMD multicomputer over an arbitrary topology."""
+
+    def __init__(self, topology: Topology, *, check_conflicts: bool = True):
+        self._topology = topology
+        self._nodes: List[Node] = list(topology.nodes())
+        self._node_set = set(self._nodes)
+        self._registers: Dict[str, Dict[Node, object]] = {}
+        self._stats = RouteStatistics()
+        self._check_conflicts = check_conflicts
+
+    # ------------------------------------------------------------ properties
+    @property
+    def topology(self) -> Topology:
+        """The interconnection network."""
+        return self._topology
+
+    @property
+    def num_pes(self) -> int:
+        """Number of processing elements."""
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[Node]:
+        """All PE identifiers in canonical topology order."""
+        return list(self._nodes)
+
+    @property
+    def stats(self) -> RouteStatistics:
+        """The unit-route / local-operation ledger."""
+        return self._stats
+
+    @property
+    def register_names(self) -> List[str]:
+        """Names of the currently defined registers."""
+        return sorted(self._registers)
+
+    # -------------------------------------------------------------- registers
+    def _register(self, name: str) -> Dict[Node, object]:
+        try:
+            return self._registers[name]
+        except KeyError as exc:
+            raise ProgramError(f"register {name!r} is not defined") from exc
+
+    def define_register(self, name: str, init: RegisterInit = None) -> None:
+        """Create (or overwrite) register *name* on every PE.
+
+        *init* may be a mapping ``node -> value``, a callable ``node -> value``
+        or a constant broadcast to every PE (the latter counts as one
+        control-unit broadcast in the ledger).
+        """
+        if isinstance(init, Mapping):
+            values = {node: init.get(node) for node in self._nodes}
+        elif callable(init):
+            values = {node: init(node) for node in self._nodes}
+        else:
+            values = {node: init for node in self._nodes}
+            self._stats.record_broadcast()
+        self._registers[name] = values
+
+    def read_register(self, name: str) -> Dict[Node, object]:
+        """A copy of register *name* as ``{node: value}``."""
+        return dict(self._register(name))
+
+    def read_value(self, name: str, node: Node) -> object:
+        """The value of register *name* at one PE."""
+        register = self._register(name)
+        node = self._topology.validate_node(node)
+        return register[node]
+
+    def write_value(self, name: str, node: Node, value: object) -> None:
+        """Overwrite the value of register *name* at one PE (host-side poke)."""
+        register = self._register(name)
+        node = self._topology.validate_node(node)
+        register[node] = value
+
+    # --------------------------------------------------------------- local ops
+    def apply(
+        self,
+        destination: str,
+        function: Callable[..., object],
+        *sources: str,
+        where: MaskSource = None,
+    ) -> None:
+        """Masked element-wise local operation.
+
+        On every active PE, ``destination := function(*source registers)``.
+        The paper's ``A(i) := A(i) + 1, (f(i) = y)`` is
+        ``apply("A", lambda a: a + 1, "A", where=predicate)``.
+        """
+        mask = Mask.coerce(self._topology, where)
+        dest = self._register(destination) if destination in self._registers else None
+        if dest is None:
+            self.define_register(destination)
+            dest = self._register(destination)
+        source_registers = [self._register(s) for s in sources]
+        count = 0
+        for node in self._nodes:
+            if not mask.is_active(node):
+                continue
+            dest[node] = function(*(reg[node] for reg in source_registers))
+            count += 1
+        self._stats.record_local(operations=count)
+        self._stats.record_broadcast()
+
+    def copy_register(self, source: str, destination: str, *, where: MaskSource = None) -> None:
+        """``destination := source`` on every active PE (a local move, no routing)."""
+        self.apply(destination, lambda value: value, source, where=where)
+
+    # ----------------------------------------------------------------- routing
+    def route_moves(
+        self,
+        source_register: str,
+        destination_register: str,
+        moves: Iterable[Tuple[Node, Node]],
+        *,
+        label: str = "route",
+    ) -> None:
+        """Execute one unit route.
+
+        Every ``(sender, receiver)`` pair must be an edge of the topology; the
+        value of *source_register* at the sender is written into
+        *destination_register* at the receiver.  All transfers happen
+        simultaneously (the values are read before any write), exactly like a
+        synchronous hardware route.
+        """
+        moves = [
+            (self._topology.validate_node(src), self._topology.validate_node(dst))
+            for src, dst in moves
+        ]
+        for src, dst in moves:
+            if not self._topology.has_edge(src, dst):
+                raise SimulationError(
+                    f"unit route uses ({src!r} -> {dst!r}) which is not a link"
+                )
+        if self._check_conflicts:
+            check_unit_route_conflicts(UnitRouteStep(moves=tuple(moves)))
+        source = self._register(source_register)
+        if destination_register not in self._registers:
+            self.define_register(destination_register)
+        destination = self._register(destination_register)
+        payload = [(dst, source[src]) for src, dst in moves]
+        for dst, value in payload:
+            destination[dst] = value
+        self._stats.record_route(messages=len(moves), label=label)
+
+    def route_paths(
+        self,
+        source_register: str,
+        destination_register: str,
+        paths: Mapping[Node, Sequence[Node]],
+        *,
+        label: str = "path-route",
+        scratch_register: str = "__transit__",
+    ) -> int:
+        """Deliver one message per path, as a sequence of synchronous unit routes.
+
+        ``paths[source]`` is the full node sequence the message injected at
+        *source* follows (first element must be *source*).  Hop ``t`` of every
+        path executes during unit route ``t``; messages that have already
+        arrived simply rest.  Returns the number of unit routes used
+        (the length of the longest path).
+
+        Conflict checking applies to every intermediate unit route, which is
+        how Lemma 5 is enforced at run time.
+        """
+        paths = {self._topology.validate_node(k): [
+            self._topology.validate_node(p) for p in v
+        ] for k, v in paths.items()}
+        for source, path in paths.items():
+            if not path or path[0] != source:
+                raise SimulationError(f"path for {source!r} must start at the source")
+        steps = paths_to_steps(paths.values())
+        if not steps:
+            return 0
+
+        # Transit values ride in a scratch register so multi-hop forwarding does
+        # not clobber the PEs' own source values.
+        self.define_register(scratch_register, self.read_register(source_register))
+        if destination_register not in self._registers:
+            self.define_register(destination_register)
+
+        for index, step in enumerate(steps):
+            last = index == len(steps) - 1
+            # Messages whose path ends at this step are written to the real
+            # destination register; others keep riding in the scratch register.
+            arriving = []
+            continuing = []
+            for source, path in paths.items():
+                if index + 1 < len(path):
+                    move = (path[index], path[index + 1])
+                    if index + 2 == len(path):
+                        arriving.append(move)
+                    else:
+                        continuing.append(move)
+            all_moves = arriving + continuing
+            if self._check_conflicts:
+                check_unit_route_conflicts(UnitRouteStep(moves=tuple(all_moves)))
+            transit = self._register(scratch_register)
+            destination = self._register(destination_register)
+            staged = [(dst, transit[src], final) for (src, dst), final in
+                      [(m, True) for m in arriving] + [(m, False) for m in continuing]]
+            for dst, value, final in staged:
+                if final:
+                    destination[dst] = value
+                else:
+                    transit[dst] = value
+            self._stats.record_route(messages=len(all_moves), label=label)
+            del last  # readability only; every step is recorded identically
+        del self._registers[scratch_register]
+        return len(steps)
+
+    # --------------------------------------------------------------- utilities
+    def gather(self, register: str) -> Dict[Node, object]:
+        """Alias of :meth:`read_register` (reads do not cost unit routes)."""
+        return self.read_register(register)
+
+    def reset_stats(self) -> None:
+        """Zero the ledger (register contents are preserved)."""
+        self._stats.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(topology={self._topology!r}, "
+            f"pes={self.num_pes}, registers={self.register_names})"
+        )

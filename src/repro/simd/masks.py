@@ -1,0 +1,112 @@
+"""Activity masks.
+
+The paper's instruction format ``A(i) := A(i) + 1, (f(i) = y)`` attaches a
+boolean *mask* selecting which PEs execute a broadcast instruction.  A
+:class:`Mask` wraps such a selection; it can be built from a predicate on node
+identifiers, from an explicit node collection, or from another register
+(treating its values as truthy/falsy), and supports the boolean algebra
+(``&``, ``|``, ``~``) masks are usually combined with.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import MaskError
+from repro.topology.base import Node, Topology
+
+__all__ = ["Mask"]
+
+MaskSource = Union["Mask", Callable[[Node], bool], Iterable[Node], None]
+
+
+class Mask:
+    """A boolean activity flag per node of a topology."""
+
+    def __init__(self, topology: Topology, active: Dict[Node, bool]):
+        self._topology = topology
+        self._active = dict(active)
+        if len(self._active) != topology.num_nodes:
+            raise MaskError(
+                f"mask covers {len(self._active)} nodes but topology has {topology.num_nodes}"
+            )
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def all_active(cls, topology: Topology) -> "Mask":
+        """Mask selecting every PE."""
+        return cls(topology, {node: True for node in topology.nodes()})
+
+    @classmethod
+    def none_active(cls, topology: Topology) -> "Mask":
+        """Mask selecting no PE."""
+        return cls(topology, {node: False for node in topology.nodes()})
+
+    @classmethod
+    def from_predicate(cls, topology: Topology, predicate: Callable[[Node], bool]) -> "Mask":
+        """Mask selecting the PEs whose node satisfies *predicate* (the paper's ``f(i) = y``)."""
+        return cls(topology, {node: bool(predicate(node)) for node in topology.nodes()})
+
+    @classmethod
+    def from_nodes(cls, topology: Topology, nodes: Iterable[Node]) -> "Mask":
+        """Mask selecting exactly the given nodes."""
+        selected = {tuple(node) for node in nodes}
+        for node in selected:
+            if not topology.is_node(node):
+                raise MaskError(f"{node!r} is not a node of {topology!r}")
+        return cls(topology, {node: node in selected for node in topology.nodes()})
+
+    @classmethod
+    def coerce(cls, topology: Topology, source: MaskSource) -> "Mask":
+        """Build a mask from any accepted source (None means all-active)."""
+        if source is None:
+            return cls.all_active(topology)
+        if isinstance(source, Mask):
+            if source._topology.num_nodes != topology.num_nodes:
+                raise MaskError("mask belongs to a different topology")
+            return source
+        if callable(source):
+            return cls.from_predicate(topology, source)
+        return cls.from_nodes(topology, source)
+
+    # ------------------------------------------------------------------ query
+    @property
+    def topology(self) -> Topology:
+        """The topology the mask is defined over."""
+        return self._topology
+
+    def is_active(self, node: Node) -> bool:
+        """True if *node* executes masked instructions."""
+        try:
+            return self._active[tuple(node)]
+        except KeyError as exc:
+            raise MaskError(f"{node!r} is not covered by this mask") from exc
+
+    def active_nodes(self) -> List[Node]:
+        """The selected nodes, in topology order."""
+        return [node for node in self._topology.nodes() if self._active[node]]
+
+    def count(self) -> int:
+        """Number of selected nodes."""
+        return sum(1 for value in self._active.values() if value)
+
+    # ---------------------------------------------------------------- algebra
+    def _combine(self, other: "Mask", op: Callable[[bool, bool], bool]) -> "Mask":
+        if other._topology.num_nodes != self._topology.num_nodes:
+            raise MaskError("cannot combine masks over different topologies")
+        return Mask(
+            self._topology,
+            {node: op(self._active[node], other._active[node]) for node in self._active},
+        )
+
+    def __and__(self, other: "Mask") -> "Mask":
+        return self._combine(other, lambda a, b: a and b)
+
+    def __or__(self, other: "Mask") -> "Mask":
+        return self._combine(other, lambda a, b: a or b)
+
+    def __invert__(self) -> "Mask":
+        return Mask(self._topology, {node: not value for node, value in self._active.items()})
+
+    def __repr__(self) -> str:
+        return f"Mask(active={self.count()}/{self._topology.num_nodes})"

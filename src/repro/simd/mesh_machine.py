@@ -1,0 +1,99 @@
+"""SIMD machine over a mesh.
+
+Adds the mesh's natural SIMD-A unit route ("every active PE transmits one step
+along dimension ``k`` in direction ``delta``") on top of
+:class:`~repro.simd.machine.SIMDMachine`.  Algorithms in
+:mod:`repro.algorithms` are written against this interface (they only call
+:meth:`route_dimension`, :meth:`apply` and register accessors), which lets the
+same algorithm run unchanged on the real mesh machine *and* on
+:class:`~repro.simd.embedded.EmbeddedMeshMachine`, where every mesh unit route
+is replayed as at most three star-graph unit routes (Theorem 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.simd.machine import SIMDMachine
+from repro.simd.masks import Mask, MaskSource
+from repro.topology.mesh import Mesh
+
+__all__ = ["MeshMachine"]
+
+
+class MeshMachine(SIMDMachine):
+    """An SIMD multicomputer whose interconnection network is a mesh."""
+
+    def __init__(self, sides: Sequence[int], *, check_conflicts: bool = True):
+        super().__init__(Mesh(sides), check_conflicts=check_conflicts)
+
+    @property
+    def mesh(self) -> Mesh:
+        """The underlying mesh."""
+        return self.topology  # type: ignore[return-value]
+
+    @property
+    def sides(self):
+        """Mesh side lengths (most significant first)."""
+        return self.mesh.sides
+
+    def route_dimension(
+        self,
+        source_register: str,
+        destination_register: str,
+        dim: int,
+        delta: int,
+        *,
+        where: MaskSource = None,
+        label: Optional[str] = None,
+    ) -> None:
+        """One SIMD-A mesh unit route along tuple dimension *dim*, direction *delta*.
+
+        Every active PE that has a neighbour at ``coords[dim] + delta``
+        transmits the value of *source_register* to it; PEs on the mesh
+        boundary in that direction simply do not transmit (there is no
+        wraparound).  Receivers store the value in *destination_register*.
+        """
+        if delta not in (-1, +1):
+            raise InvalidParameterError(f"delta must be +1 or -1, got {delta}")
+        if not (0 <= dim < self.mesh.ndim):
+            raise InvalidParameterError(
+                f"dim must be in [0, {self.mesh.ndim - 1}], got {dim}"
+            )
+        mask = Mask.coerce(self.topology, where)
+        moves = []
+        for node in self.nodes:
+            if not mask.is_active(node):
+                continue
+            value = node[dim] + delta
+            if 0 <= value < self.sides[dim]:
+                destination = list(node)
+                destination[dim] = value
+                moves.append((node, tuple(destination)))
+        self.route_moves(
+            source_register,
+            destination_register,
+            moves,
+            label=label or f"dim{dim}{'+' if delta > 0 else '-'}",
+        )
+
+    def route_paper_dimension(
+        self,
+        source_register: str,
+        destination_register: str,
+        paper_dim: int,
+        delta: int,
+        *,
+        where: MaskSource = None,
+    ) -> None:
+        """Same as :meth:`route_dimension` but using the paper's 1-based dimension index."""
+        dim = self.mesh.coordinate_of_dimension(paper_dim)
+        self.route_dimension(
+            source_register,
+            destination_register,
+            dim,
+            delta,
+            where=where,
+            label=f"paper-dim{paper_dim}{'+' if delta > 0 else '-'}",
+        )

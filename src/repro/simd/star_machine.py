@@ -1,0 +1,71 @@
+"""SIMD machine over the star graph.
+
+Adds the star graph's natural unit routes on top of
+:class:`~repro.simd.machine.SIMDMachine`:
+
+* :meth:`StarMachine.route_generator` -- the SIMD-A route "every active PE
+  transmits along generator ``g_j``" (the paper's ``B(i^(2)) <- B(i)``);
+* :meth:`StarMachine.route_paths` (inherited) -- the SIMD-B capability used to
+  replay mesh unit routes through the embedding.
+
+Because a generator move is an involution (applying ``g_j`` twice returns to
+the start), a generator route is always a perfect matching of the PEs and can
+never conflict; the conflict checker still runs to keep the invariant honest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simd.machine import SIMDMachine
+from repro.simd.masks import Mask, MaskSource
+from repro.topology.star import StarGraph
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = ["StarMachine"]
+
+
+class StarMachine(SIMDMachine):
+    """An SIMD multicomputer whose interconnection network is ``S_n``."""
+
+    def __init__(self, n: int, *, check_conflicts: bool = True):
+        check_positive_int(n, "n", minimum=2)
+        super().__init__(StarGraph(n), check_conflicts=check_conflicts)
+
+    @property
+    def star(self) -> StarGraph:
+        """The underlying star graph."""
+        return self.topology  # type: ignore[return-value]
+
+    @property
+    def n(self) -> int:
+        """Degree parameter of the star graph."""
+        return self.star.n
+
+    def route_generator(
+        self,
+        source_register: str,
+        destination_register: str,
+        generator: int,
+        *,
+        where: MaskSource = None,
+        label: Optional[str] = None,
+    ) -> None:
+        """One SIMD-A unit route: every active PE sends along generator ``g_j``.
+
+        PE ``pi`` transmits the value of *source_register* to PE
+        ``pi`` with tuple positions 0 and *generator* exchanged; the value is
+        stored in *destination_register* at the receiver.
+        """
+        check_in_range(generator, "generator", 1, self.n - 1)
+        mask = Mask.coerce(self.topology, where)
+        moves = []
+        for node in self.nodes:
+            if mask.is_active(node):
+                moves.append((node, self.star.neighbor_along(node, generator)))
+        self.route_moves(
+            source_register,
+            destination_register,
+            moves,
+            label=label or f"generator-{generator}",
+        )

@@ -1,0 +1,60 @@
+"""Interconnection-network topologies.
+
+The paper studies three families of static interconnection networks:
+
+* the **star graph** :class:`~repro.topology.star.StarGraph` ``S_n`` -- the
+  host network of the embedding (Akers, Harel & Krishnamurthy);
+* the **mesh** :class:`~repro.topology.mesh.Mesh` -- the guest network; in the
+  paper it is the mixed-radix mesh ``D_n`` of size ``2*3*...*n`` but the class
+  supports arbitrary side lengths (uniform meshes are needed for Section 4);
+* the **hypercube** :class:`~repro.topology.hypercube.Hypercube` ``Q_n`` --
+  the network the star graph is compared against in the introduction.
+
+All of them implement the small :class:`~repro.topology.base.Topology`
+interface (nodes, neighbours, distance, shortest path, diameter, degree) so
+the embedding metrics, the SIMD simulator and the experiments can be written
+once against the interface.
+"""
+
+from repro.topology.base import Topology
+from repro.topology.star import StarGraph
+from repro.topology.mesh import Mesh, paper_mesh
+from repro.topology.hypercube import Hypercube
+from repro.topology.routing import (
+    star_route,
+    star_distance,
+    mesh_route,
+    mesh_distance,
+    hypercube_route,
+    hypercube_distance,
+)
+from repro.topology.nx_adapter import to_networkx, bfs_distances, bfs_eccentricity
+from repro.topology.properties import (
+    is_vertex_transitive_sample,
+    degree_histogram,
+    verify_regular,
+    edge_count,
+    connectivity_after_faults,
+)
+
+__all__ = [
+    "Topology",
+    "StarGraph",
+    "Mesh",
+    "paper_mesh",
+    "Hypercube",
+    "star_route",
+    "star_distance",
+    "mesh_route",
+    "mesh_distance",
+    "hypercube_route",
+    "hypercube_distance",
+    "to_networkx",
+    "bfs_distances",
+    "bfs_eccentricity",
+    "is_vertex_transitive_sample",
+    "degree_histogram",
+    "verify_regular",
+    "edge_count",
+    "connectivity_after_faults",
+]

@@ -1,0 +1,201 @@
+"""The common interface implemented by every interconnection topology.
+
+A :class:`Topology` is an undirected graph whose vertices ("nodes") are
+hashable tuples.  The interface is intentionally small -- exactly what the
+embedding layer, the SIMD simulator and the analysis experiments need:
+
+* enumerate nodes (``nodes()``, ``num_nodes``, ``__contains__``),
+* local structure (``neighbors``, ``degree``),
+* metric structure (``distance``, ``shortest_path``, ``diameter``),
+* a stable dense integer id per node (``node_index`` / ``node_from_index``)
+  so simulators can use flat arrays.
+
+Concrete topologies override the analytic members (``distance``, ``diameter``)
+with closed forms where they exist; the base class provides BFS fallbacks so a
+new topology only has to implement ``nodes()`` and ``neighbors()`` to be fully
+functional (and testable against the optimised subclasses).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidNodeError
+
+Node = Tuple[int, ...]
+
+__all__ = ["Topology", "Node"]
+
+
+class Topology(ABC):
+    """Abstract undirected interconnection network."""
+
+    # ------------------------------------------------------------- structure
+    @abstractmethod
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over every node, in a deterministic canonical order."""
+
+    @abstractmethod
+    def neighbors(self, node: Node) -> List[Node]:
+        """The nodes adjacent to *node*, in a deterministic order."""
+
+    @property
+    @abstractmethod
+    def num_nodes(self) -> int:
+        """Total number of nodes."""
+
+    @abstractmethod
+    def is_node(self, node: Sequence[int]) -> bool:
+        """True if *node* is a vertex of this topology."""
+
+    # -------------------------------------------------------------- defaults
+    def __contains__(self, node: object) -> bool:
+        if not isinstance(node, tuple):
+            try:
+                node = tuple(node)  # type: ignore[arg-type]
+            except TypeError:
+                return False
+        return self.is_node(node)  # type: ignore[arg-type]
+
+    def __iter__(self) -> Iterator[Node]:
+        return self.nodes()
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def validate_node(self, node: Sequence[int]) -> Node:
+        """Return *node* as a tuple, raising :class:`InvalidNodeError` if foreign."""
+        as_tuple = tuple(node)
+        if not self.is_node(as_tuple):
+            raise InvalidNodeError(f"{as_tuple!r} is not a node of {self!r}")
+        return as_tuple
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbours of *node*."""
+        return len(self.neighbors(self.validate_node(node)))
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Iterate over every undirected edge exactly once (as sorted pairs)."""
+        for node in self.nodes():
+            for neighbor in self.neighbors(node):
+                if node < neighbor:
+                    yield (node, neighbor)
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of undirected edges."""
+        return sum(1 for _ in self.edges())
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """True if *u* and *v* are adjacent."""
+        u = self.validate_node(u)
+        v = self.validate_node(v)
+        return v in self.neighbors(u)
+
+    # ------------------------------------------------------------ node index
+    def node_index(self, node: Node) -> int:
+        """A dense integer id in ``[0, num_nodes)`` for *node*.
+
+        The base implementation builds (and caches) a dictionary from the
+        canonical node order; subclasses with a closed-form ranking override
+        this.
+        """
+        table = self._index_table()
+        node = self.validate_node(node)
+        return table[node]
+
+    def node_from_index(self, index: int) -> Node:
+        """Inverse of :meth:`node_index`."""
+        order = self._order_table()
+        if not (0 <= index < self.num_nodes):
+            raise InvalidNodeError(f"index {index} out of range for {self!r}")
+        return order[index]
+
+    def _index_table(self) -> Dict[Node, int]:
+        cached = getattr(self, "_cached_index_table", None)
+        if cached is None:
+            cached = {node: i for i, node in enumerate(self.nodes())}
+            setattr(self, "_cached_index_table", cached)
+        return cached
+
+    def _order_table(self) -> List[Node]:
+        cached = getattr(self, "_cached_order_table", None)
+        if cached is None:
+            cached = list(self.nodes())
+            setattr(self, "_cached_order_table", cached)
+        return cached
+
+    # ---------------------------------------------------------------- metric
+    def distance(self, u: Node, v: Node) -> int:
+        """Length of a shortest path between *u* and *v* (BFS fallback)."""
+        return len(self.shortest_path(u, v)) - 1
+
+    def shortest_path(self, u: Node, v: Node) -> List[Node]:
+        """A shortest path from *u* to *v* including both endpoints (BFS fallback)."""
+        u = self.validate_node(u)
+        v = self.validate_node(v)
+        if u == v:
+            return [u]
+        parent: Dict[Node, Optional[Node]] = {u: None}
+        queue = deque([u])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor in parent:
+                    continue
+                parent[neighbor] = current
+                if neighbor == v:
+                    path = [neighbor]
+                    back: Optional[Node] = current
+                    while back is not None:
+                        path.append(back)
+                        back = parent[back]
+                    path.reverse()
+                    return path
+                queue.append(neighbor)
+        raise InvalidNodeError(f"no path between {u!r} and {v!r}")  # pragma: no cover
+
+    def eccentricity(self, node: Node) -> int:
+        """Greatest distance from *node* to any other node (BFS)."""
+        node = self.validate_node(node)
+        distances = self._bfs_distances(node)
+        return max(distances.values())
+
+    def diameter(self) -> int:
+        """Greatest eccentricity over all nodes.
+
+        The base implementation runs a BFS from every node; subclasses with a
+        closed form override it.  Vertex-transitive topologies can override
+        with a single-source eccentricity.
+        """
+        return max(self.eccentricity(node) for node in self.nodes())
+
+    def average_distance(self) -> float:
+        """Mean pairwise distance over ordered pairs of distinct nodes."""
+        total = 0
+        pairs = 0
+        for node in self.nodes():
+            distances = self._bfs_distances(node)
+            for other, d in distances.items():
+                if other != node:
+                    total += d
+                    pairs += 1
+        return total / pairs if pairs else 0.0
+
+    def _bfs_distances(self, source: Node) -> Dict[Node, int]:
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[current] + 1
+                    queue.append(neighbor)
+        return distances
+
+    # ------------------------------------------------------------------ misc
+    def adjacency_lists(self) -> Dict[Node, List[Node]]:
+        """The full adjacency structure as a dictionary (small topologies only)."""
+        return {node: self.neighbors(node) for node in self.nodes()}

@@ -1,0 +1,107 @@
+"""Structural property checks for topologies.
+
+These functions verify, on concrete instances, the star-graph properties the
+paper quotes from Akers & Krishnamurthy in Section 2 (regularity, vertex
+symmetry, maximal fault tolerance) as well as generic sanity checks used by
+the test-suite and the experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.topology.base import Node, Topology
+
+__all__ = [
+    "degree_histogram",
+    "verify_regular",
+    "edge_count",
+    "is_vertex_transitive_sample",
+    "connectivity_after_faults",
+]
+
+
+def degree_histogram(topology: Topology) -> Dict[int, int]:
+    """Map ``degree -> number of nodes with that degree``."""
+    counter: Counter = Counter()
+    for node in topology.nodes():
+        counter[topology.degree(node)] += 1
+    return dict(counter)
+
+
+def verify_regular(topology: Topology, expected_degree: int) -> bool:
+    """True if every node has exactly *expected_degree* neighbours."""
+    return all(topology.degree(node) == expected_degree for node in topology.nodes())
+
+
+def edge_count(topology: Topology) -> int:
+    """Number of undirected edges counted by enumeration (oracle for closed forms)."""
+    return sum(len(topology.neighbors(node)) for node in topology.nodes()) // 2
+
+
+def is_vertex_transitive_sample(
+    topology: Topology,
+    *,
+    samples: int = 8,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """Heuristic vertex-symmetry check: sampled nodes all share the same
+    degree and eccentricity.
+
+    True vertex transitivity is expensive to decide; for the paper's claim
+    ("each node is symmetrical to every other node") the experiments use this
+    necessary condition on sampled nodes, which is what a practitioner would
+    measure.  A return value of ``False`` *disproves* vertex transitivity;
+    ``True`` is strong evidence but not a proof.
+    """
+    generator = rng if rng is not None else random.Random(0)
+    all_nodes = list(topology.nodes())
+    if not all_nodes:
+        raise InvalidParameterError("topology has no nodes")
+    chosen = [all_nodes[0]]
+    if len(all_nodes) > 1:
+        chosen += generator.sample(all_nodes[1:], min(samples, len(all_nodes) - 1))
+    reference_degree = topology.degree(chosen[0])
+    reference_ecc = _bfs_eccentricity(topology, chosen[0])
+    for node in chosen[1:]:
+        if topology.degree(node) != reference_degree:
+            return False
+        if _bfs_eccentricity(topology, node) != reference_ecc:
+            return False
+    return True
+
+
+def _bfs_eccentricity(topology: Topology, source: Node) -> int:
+    return max(topology._bfs_distances(source).values())  # noqa: SLF001 - internal oracle
+
+
+def connectivity_after_faults(
+    topology: Topology,
+    faulty_nodes: Iterable[Node],
+) -> bool:
+    """True if the topology stays connected after removing *faulty_nodes*.
+
+    Used by the fault-tolerance experiment: the star graph ``S_n`` tolerates
+    any ``n - 2`` node faults (maximal fault tolerance), so removing up to
+    ``n - 2`` arbitrary nodes must never disconnect it.
+    """
+    faulty = {tuple(node) for node in faulty_nodes}
+    remaining = [node for node in topology.nodes() if node not in faulty]
+    if not remaining:
+        return False
+    remaining_set = set(remaining)
+    # BFS over the surviving subgraph.
+    seen = {remaining[0]}
+    frontier = [remaining[0]]
+    while frontier:
+        nxt: List[Node] = []
+        for node in frontier:
+            for neighbor in topology.neighbors(node):
+                if neighbor in remaining_set and neighbor not in seen:
+                    seen.add(neighbor)
+                    nxt.append(neighbor)
+        frontier = nxt
+    return len(seen) == len(remaining)

@@ -1,0 +1,206 @@
+"""Point-to-point routing and closed-form distances for the three topologies.
+
+Every routing function returns the full node sequence from source to
+destination (inclusive of both), so ``len(path) - 1`` is the number of unit
+routes it takes -- the paper's cost unit.
+
+Star graph
+----------
+Distance uses the Akers & Krishnamurthy cycle-structure formula: writing the
+*relative* permutation (what must still be applied to the source to obtain the
+destination) as disjoint cycles, a non-trivial cycle through position 0 of
+length ``l`` costs ``l - 1`` generator moves and any other non-trivial cycle
+costs ``l + 1``.  Routing uses the matching greedy rule ("if the front symbol
+is not home, send it home; otherwise bring any displaced symbol to the
+front"), which realises exactly that bound.
+
+Mesh
+----
+Dimension-order (e-cube style) routing; distance is the Manhattan metric.
+
+Hypercube
+---------
+E-cube routing (correct differing bits from the lowest dimension up); distance
+is the Hamming distance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.permutations.permutation import is_permutation
+
+Node = Tuple[int, ...]
+
+__all__ = [
+    "star_distance",
+    "star_route",
+    "star_distance_profile",
+    "mesh_distance",
+    "mesh_route",
+    "hypercube_distance",
+    "hypercube_route",
+]
+
+
+# --------------------------------------------------------------------------- star
+def _relative_cycles(source: Node, target: Node) -> List[List[int]]:
+    """Cycle decomposition of the position permutation taking *source* to *target*.
+
+    Position ``p`` maps to the position where ``source[p]`` must end up, i.e.
+    ``target.index(source[p])``.  Only non-trivial cycles are returned.
+    """
+    n = len(source)
+    target_position = {symbol: p for p, symbol in enumerate(target)}
+    mapping = [target_position[source[p]] for p in range(n)]
+    seen = [False] * n
+    cycles: List[List[int]] = []
+    for start in range(n):
+        if seen[start] or mapping[start] == start:
+            seen[start] = True
+            continue
+        cycle = [start]
+        seen[start] = True
+        nxt = mapping[start]
+        while nxt != start:
+            cycle.append(nxt)
+            seen[nxt] = True
+            nxt = mapping[nxt]
+        cycles.append(cycle)
+    return cycles
+
+
+def _check_star_pair(source: Sequence[int], target: Sequence[int]) -> Tuple[Node, Node]:
+    source = tuple(source)
+    target = tuple(target)
+    if len(source) != len(target):
+        raise InvalidParameterError("source and target must have the same degree")
+    if not is_permutation(source) or not is_permutation(target):
+        raise InvalidParameterError("source and target must be permutations")
+    return source, target
+
+
+def star_distance(source: Sequence[int], target: Sequence[int]) -> int:
+    """Shortest-path length between two star-graph nodes (closed form)."""
+    source, target = _check_star_pair(source, target)
+    total = 0
+    for cycle in _relative_cycles(source, target):
+        if 0 in cycle:
+            total += len(cycle) - 1
+        else:
+            total += len(cycle) + 1
+    return total
+
+
+def star_distance_profile(source: Sequence[int], target: Sequence[int]) -> Tuple[int, int, int]:
+    """Return ``(distance, num_nontrivial_cycles, num_displaced_symbols)``.
+
+    Useful for the analysis experiments: the distance equals
+    ``m + c`` when position 0 is displaced together with its cycle
+    (``m`` displaced symbols, ``c`` non-trivial cycles, the cycle through 0
+    contributing ``l - 1`` instead of ``l + 1``).
+    """
+    source, target = _check_star_pair(source, target)
+    cycles = _relative_cycles(source, target)
+    displaced = sum(len(c) for c in cycles)
+    distance = 0
+    for cycle in cycles:
+        distance += len(cycle) - 1 if 0 in cycle else len(cycle) + 1
+    return distance, len(cycles), displaced
+
+
+def star_route(source: Sequence[int], target: Sequence[int]) -> List[Node]:
+    """An optimal path between two star-graph nodes (greedy cycle routing).
+
+    The returned list starts at *source*, ends at *target* and each
+    consecutive pair differs by one generator move; its length minus one
+    equals :func:`star_distance`.
+    """
+    source, target = _check_star_pair(source, target)
+    target_position = {symbol: p for p, symbol in enumerate(target)}
+    current = list(source)
+    path: List[Node] = [tuple(current)]
+    n = len(source)
+
+    def is_home(position: int) -> bool:
+        return target_position[current[position]] == position
+
+    while tuple(current) != target:
+        front_symbol = current[0]
+        home = target_position[front_symbol]
+        if home != 0:
+            # The front symbol is displaced: send it home in one move.
+            current[0], current[home] = current[home], current[0]
+        else:
+            # Front symbol already belongs at the front: bring the first
+            # displaced symbol to the front (starts a new cycle).
+            j = next(p for p in range(1, n) if not is_home(p))
+            current[0], current[j] = current[j], current[0]
+        path.append(tuple(current))
+    return path
+
+
+# --------------------------------------------------------------------------- mesh
+def _check_mesh_pair(
+    source: Sequence[int], target: Sequence[int], sides: Sequence[int]
+) -> Tuple[Node, Node, Tuple[int, ...]]:
+    source = tuple(source)
+    target = tuple(target)
+    sides = tuple(sides)
+    if not (len(source) == len(target) == len(sides)):
+        raise InvalidParameterError("source, target and sides must have equal length")
+    for name, coords in (("source", source), ("target", target)):
+        for c, s in zip(coords, sides):
+            if not (0 <= c < s):
+                raise InvalidParameterError(f"{name} coordinate {c} out of range for side {s}")
+    return source, target, sides
+
+
+def mesh_distance(source: Sequence[int], target: Sequence[int], sides: Sequence[int]) -> int:
+    """Manhattan distance on a mesh without wraparound."""
+    source, target, _ = _check_mesh_pair(source, target, sides)
+    return sum(abs(a - b) for a, b in zip(source, target))
+
+
+def mesh_route(source: Sequence[int], target: Sequence[int], sides: Sequence[int]) -> List[Node]:
+    """Dimension-order route: correct coordinate 0 first, then 1, and so on."""
+    source, target, _ = _check_mesh_pair(source, target, sides)
+    current = list(source)
+    path: List[Node] = [tuple(current)]
+    for dim in range(len(sides)):
+        step = 1 if target[dim] > current[dim] else -1
+        while current[dim] != target[dim]:
+            current[dim] += step
+            path.append(tuple(current))
+    return path
+
+
+# ---------------------------------------------------------------------- hypercube
+def _check_cube_pair(source: Sequence[int], target: Sequence[int]) -> Tuple[Node, Node]:
+    source = tuple(source)
+    target = tuple(target)
+    if len(source) != len(target):
+        raise InvalidParameterError("source and target must have the same dimension")
+    for name, coords in (("source", source), ("target", target)):
+        if any(bit not in (0, 1) for bit in coords):
+            raise InvalidParameterError(f"{name} must be a tuple of bits, got {coords!r}")
+    return source, target
+
+
+def hypercube_distance(source: Sequence[int], target: Sequence[int]) -> int:
+    """Hamming distance between two hypercube nodes (bit tuples)."""
+    source, target = _check_cube_pair(source, target)
+    return sum(1 for a, b in zip(source, target) if a != b)
+
+
+def hypercube_route(source: Sequence[int], target: Sequence[int]) -> List[Node]:
+    """E-cube route: flip differing bits from dimension 0 upwards."""
+    source, target = _check_cube_pair(source, target)
+    current = list(source)
+    path: List[Node] = [tuple(current)]
+    for dim in range(len(source)):
+        if current[dim] != target[dim]:
+            current[dim] = target[dim]
+            path.append(tuple(current))
+    return path

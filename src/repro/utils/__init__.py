@@ -1,0 +1,45 @@
+"""Small generic helpers shared across the :mod:`repro` package.
+
+The helpers are intentionally dependency-free (standard library only) so that
+the lowest layers of the library -- permutations and topologies -- do not pull
+in numpy/networkx unless the caller actually needs array output or graph
+conversion.
+"""
+
+from repro.utils.validation import (
+    check_positive_int,
+    check_in_range,
+    check_sequence_of_ints,
+    check_probability,
+)
+from repro.utils.mixed_radix import (
+    MixedRadix,
+    mixed_radix_decode,
+    mixed_radix_encode,
+    iter_mixed_radix,
+)
+from repro.utils.itertools_ext import (
+    pairwise,
+    chunked,
+    first,
+    product_of,
+    argmax,
+    argmin,
+)
+
+__all__ = [
+    "check_positive_int",
+    "check_in_range",
+    "check_sequence_of_ints",
+    "check_probability",
+    "MixedRadix",
+    "mixed_radix_decode",
+    "mixed_radix_encode",
+    "iter_mixed_radix",
+    "pairwise",
+    "chunked",
+    "first",
+    "product_of",
+    "argmax",
+    "argmin",
+]

@@ -1,0 +1,141 @@
+"""Unit tests for prefix sums, segmented totals, shifts and rotations."""
+
+import pytest
+
+from repro.algorithms.scan import prefix_sum_dimension, segmented_totals
+from repro.algorithms.shift import rotate_dimension, shift_dimension
+from repro.exceptions import InvalidParameterError
+from repro.simd.embedded import EmbeddedMeshMachine
+from repro.simd.mesh_machine import MeshMachine
+
+
+class TestPrefixSum:
+    def test_scan_along_a_line(self):
+        machine = MeshMachine((5,))
+        machine.define_register("A", lambda node: node[0] + 1)
+        routes = prefix_sum_dimension(machine, "A", lambda a, b: a + b, dim=0)
+        values = machine.read_register("A_scan")
+        assert [values[(i,)] for i in range(5)] == [1, 3, 6, 10, 15]
+        assert routes == 4
+
+    def test_scan_runs_every_line_in_parallel(self):
+        machine = MeshMachine((3, 4))
+        machine.define_register("A", lambda node: node[1] + 1)
+        prefix_sum_dimension(machine, "A", lambda a, b: a + b, dim=1)
+        values = machine.read_register("A_scan")
+        for row in range(3):
+            assert [values[(row, col)] for col in range(4)] == [1, 3, 6, 10]
+
+    def test_scan_with_non_commutative_operator(self):
+        machine = MeshMachine((4,))
+        machine.define_register("A", lambda node: str(node[0]))
+        prefix_sum_dimension(machine, "A", lambda a, b: a + b, dim=0)
+        assert machine.read_value("A_scan", (3,)) == "0123"
+
+    def test_scan_on_embedded_machine_matches_native(self):
+        native = MeshMachine((4, 3, 2))
+        embedded = EmbeddedMeshMachine(4)
+        for machine in (native, embedded):
+            machine.define_register("A", lambda node: node[0] * 2 + 1)
+            prefix_sum_dimension(machine, "A", lambda a, b: a + b, dim=0)
+        assert native.read_register("A_scan") == embedded.read_register("A_scan")
+        assert embedded.star_stats.unit_routes <= 3 * embedded.stats.unit_routes
+
+    def test_custom_result_name(self):
+        machine = MeshMachine((3,))
+        machine.define_register("A", 1)
+        prefix_sum_dimension(machine, "A", lambda a, b: a + b, dim=0, result="prefix")
+        assert machine.read_value("prefix", (2,)) == 3
+
+
+class TestSegmentedTotals:
+    def test_every_pe_gets_line_total(self):
+        machine = MeshMachine((2, 4))
+        machine.define_register("A", lambda node: node[1] + 1)
+        routes = segmented_totals(machine, "A", lambda a, b: a + b, dim=1)
+        values = machine.read_register("A_total")
+        assert all(value == 10 for value in values.values())
+        assert routes == 2 * 3
+
+    def test_totals_differ_between_lines(self):
+        machine = MeshMachine((3, 3))
+        machine.define_register("A", lambda node: node[0] * 10)
+        segmented_totals(machine, "A", lambda a, b: a + b, dim=1)
+        values = machine.read_register("A_total")
+        assert values[(0, 0)] == 0 and values[(1, 2)] == 30 and values[(2, 1)] == 60
+
+
+class TestShift:
+    def test_shift_by_one(self):
+        machine = MeshMachine((4,))
+        machine.define_register("A", lambda node: node[0])
+        shift_dimension(machine, "A", dim=0, delta=+1, steps=1, fill=-1)
+        values = machine.read_register("A_shift")
+        assert [values[(i,)] for i in range(4)] == [-1, 0, 1, 2]
+
+    def test_shift_by_two_negative_direction(self):
+        machine = MeshMachine((5,))
+        machine.define_register("A", lambda node: node[0])
+        shift_dimension(machine, "A", dim=0, delta=-1, steps=2, fill=None)
+        values = machine.read_register("A_shift")
+        assert [values[(i,)] for i in range(5)] == [2, 3, 4, None, None]
+
+    def test_shift_zero_steps_is_copy(self):
+        machine = MeshMachine((3,))
+        machine.define_register("A", lambda node: node[0])
+        routes = shift_dimension(machine, "A", dim=0, delta=+1, steps=0)
+        assert routes == 0
+        assert machine.read_register("A_shift") == machine.read_register("A")
+
+    def test_shift_on_multidimensional_mesh(self):
+        machine = MeshMachine((2, 3))
+        machine.define_register("A", lambda node: node)
+        shift_dimension(machine, "A", dim=1, delta=+1, steps=1, fill="edge")
+        values = machine.read_register("A_shift")
+        assert values[(0, 0)] == "edge"
+        assert values[(1, 2)] == (1, 1)
+
+    def test_rejects_bad_arguments(self):
+        machine = MeshMachine((3,))
+        machine.define_register("A", 0)
+        with pytest.raises(InvalidParameterError):
+            shift_dimension(machine, "A", dim=0, delta=+1, steps=-1)
+        with pytest.raises(InvalidParameterError):
+            shift_dimension(machine, "A", dim=0, delta=3, steps=1)
+
+    def test_shift_on_embedded_machine(self):
+        embedded = EmbeddedMeshMachine(4)
+        embedded.define_register("A", lambda node: node[0])
+        shift_dimension(embedded, "A", dim=0, delta=+1, steps=1, fill=0)
+        values = embedded.read_register("A_shift")
+        assert values[(0, 1, 1)] == 0 and values[(3, 0, 0)] == 2
+
+
+class TestRotate:
+    def test_single_rotation(self):
+        machine = MeshMachine((4,))
+        machine.define_register("A", lambda node: node[0])
+        rotate_dimension(machine, "A", dim=0, steps=1)
+        values = machine.read_register("A_rot")
+        assert [values[(i,)] for i in range(4)] == [3, 0, 1, 2]
+
+    def test_full_cycle_of_rotations_restores_data(self):
+        machine = MeshMachine((3,))
+        machine.define_register("A", lambda node: node[0] * 11)
+        rotate_dimension(machine, "A", dim=0, steps=3)
+        values = machine.read_register("A_rot")
+        assert [values[(i,)] for i in range(3)] == [0, 11, 22]
+
+    def test_rotation_along_one_dimension_of_a_grid(self):
+        machine = MeshMachine((2, 3))
+        machine.define_register("A", lambda node: node[1])
+        rotate_dimension(machine, "A", dim=1, steps=1)
+        values = machine.read_register("A_rot")
+        for row in range(2):
+            assert [values[(row, col)] for col in range(3)] == [2, 0, 1]
+
+    def test_rejects_negative_steps(self):
+        machine = MeshMachine((3,))
+        machine.define_register("A", 0)
+        with pytest.raises(InvalidParameterError):
+            rotate_dimension(machine, "A", dim=0, steps=-1)

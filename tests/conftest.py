@@ -1,0 +1,57 @@
+"""Shared fixtures for the test-suite.
+
+Small topology/embedding instances are expensive enough to be worth sharing
+(the S_5 embedding touches 120 nodes and ~300 edge paths), so they are
+session-scoped; nothing in the suite mutates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embedding.mesh_to_star import MeshToStarEmbedding
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh, paper_mesh
+from repro.topology.star import StarGraph
+
+
+@pytest.fixture(scope="session")
+def star4() -> StarGraph:
+    """The 24-node star graph S_4 (the paper's Figure 2)."""
+    return StarGraph(4)
+
+
+@pytest.fixture(scope="session")
+def star5() -> StarGraph:
+    """The 120-node star graph S_5."""
+    return StarGraph(5)
+
+
+@pytest.fixture(scope="session")
+def mesh_d4() -> Mesh:
+    """The 2*3*4 mesh D_4 (the paper's Figure 3)."""
+    return paper_mesh(4)
+
+
+@pytest.fixture(scope="session")
+def mesh_d5() -> Mesh:
+    """The 2*3*4*5 mesh D_5."""
+    return paper_mesh(5)
+
+
+@pytest.fixture(scope="session")
+def cube3() -> Hypercube:
+    """The 8-node hypercube Q_3."""
+    return Hypercube(3)
+
+
+@pytest.fixture(scope="session")
+def embedding4() -> MeshToStarEmbedding:
+    """The paper's embedding for n = 4."""
+    return MeshToStarEmbedding(4)
+
+
+@pytest.fixture(scope="session")
+def embedding5() -> MeshToStarEmbedding:
+    """The paper's embedding for n = 5."""
+    return MeshToStarEmbedding(5)

@@ -1,0 +1,116 @@
+"""Unit tests for the conversion procedures CONVERT-D-S / CONVERT-S-D (Figures 5 & 6)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.embedding.mesh_to_star import convert_d_s, convert_s_d, exchange_sequence
+from repro.topology.mesh import paper_mesh
+
+
+class TestExchangeSequence:
+    def test_table1_rows(self):
+        assert exchange_sequence(1, 1) == [(0, 1)]
+        assert exchange_sequence(2, 2) == [(1, 2), (0, 1)]
+        assert exchange_sequence(3, 3) == [(2, 3), (1, 2), (0, 1)]
+
+    def test_prefix_semantics(self):
+        # Coordinate d_i uses the first d_i exchanges of the full row.
+        assert exchange_sequence(3, 1) == [(2, 3)]
+        assert exchange_sequence(3, 0) == []
+
+    def test_rejects_out_of_range_coordinate(self):
+        with pytest.raises(InvalidParameterError):
+            exchange_sequence(3, 4)
+        with pytest.raises(InvalidParameterError):
+            exchange_sequence(3, -1)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(InvalidParameterError):
+            exchange_sequence(0, 0)
+
+
+class TestConvertDS:
+    def test_origin_maps_to_paper_origin(self):
+        for n in range(2, 7):
+            assert convert_d_s(tuple(0 for _ in range(n - 1)), n) == tuple(range(n - 1, -1, -1))
+
+    def test_paper_worked_example(self):
+        # Section 3.2: node (3, 0, 1) maps to (0 3 1 2).
+        assert convert_d_s((3, 0, 1), 4) == (0, 3, 1, 2)
+
+    def test_single_coordinate_steps(self):
+        assert convert_d_s((0, 0, 1), 4) == (3, 2, 0, 1)
+        assert convert_d_s((0, 1, 0), 4) == (3, 1, 2, 0)
+        assert convert_d_s((1, 0, 0), 4) == (2, 3, 1, 0)
+
+    def test_largest_coordinate_gives_sorted_permutation(self):
+        # Mesh node (n-1, n-2, ..., 1) maps to the identity arrangement (0 1 ... n-1)
+        # in the n = 4 table (last row of Figure 7).
+        assert convert_d_s((3, 2, 1), 4) == (0, 1, 2, 3)
+
+    def test_output_is_always_a_permutation(self):
+        n = 5
+        for coords in paper_mesh(n).nodes():
+            result = convert_d_s(coords, n)
+            assert sorted(result) == list(range(n))
+
+    def test_injective(self):
+        n = 6
+        images = {convert_d_s(coords, n) for coords in paper_mesh(n).nodes()}
+        assert len(images) == math.factorial(n)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(InvalidParameterError):
+            convert_d_s((0, 0), 4)
+
+    def test_rejects_out_of_range_coordinate(self):
+        with pytest.raises(InvalidParameterError):
+            convert_d_s((4, 0, 0), 4)
+        with pytest.raises(InvalidParameterError):
+            convert_d_s((0, 0, 2), 4)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(InvalidParameterError):
+            convert_d_s((), 1)
+
+
+class TestConvertSD:
+    def test_paper_worked_example(self):
+        # Section 3.2: node (0 2 1 3) maps back to (3, 1, 1).
+        assert convert_s_d((0, 2, 1, 3)) == (3, 1, 1)
+
+    def test_paper_origin_maps_to_mesh_origin(self):
+        assert convert_s_d((3, 2, 1, 0)) == (0, 0, 0)
+        assert convert_s_d((4, 3, 2, 1, 0)) == (0, 0, 0, 0)
+
+    def test_explicit_n_must_match(self):
+        with pytest.raises(InvalidParameterError):
+            convert_s_d((0, 1, 2), 4)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidParameterError):
+            convert_s_d((0, 0, 1, 2))
+
+    def test_output_in_mesh_range(self):
+        n = 5
+        mesh = paper_mesh(n)
+        from repro.permutations.ranking import all_permutations
+
+        for perm in all_permutations(n):
+            assert mesh.is_node(convert_s_d(perm, n))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_convert_s_d_inverts_convert_d_s(self, n):
+        for coords in paper_mesh(n).nodes():
+            assert convert_s_d(convert_d_s(coords, n), n) == coords
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_convert_d_s_inverts_convert_s_d(self, n):
+        from repro.permutations.ranking import all_permutations
+
+        for perm in all_permutations(n):
+            assert convert_d_s(convert_s_d(perm, n), n) == perm

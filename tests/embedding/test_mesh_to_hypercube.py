@@ -1,0 +1,83 @@
+"""Unit tests for the Gray-code mesh-to-hypercube baseline embedding."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.embedding.mesh_to_hypercube import (
+    MeshToHypercubeEmbedding,
+    gray_code,
+    gray_code_rank,
+)
+from repro.embedding.metrics import measure_embedding
+from repro.topology.mesh import Mesh, paper_mesh
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_consecutive_codes_differ_in_one_bit(self):
+        for i in range(255):
+            assert bin(gray_code(i) ^ gray_code(i + 1)).count("1") == 1
+
+    def test_rank_inverts_code(self):
+        for i in range(256):
+            assert gray_code_rank(gray_code(i)) == i
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            gray_code(-1)
+        with pytest.raises(InvalidParameterError):
+            gray_code_rank(-1)
+
+
+class TestMeshToHypercubeEmbedding:
+    def test_bits_per_dimension(self):
+        embedding = MeshToHypercubeEmbedding(Mesh((4, 3, 2)))
+        assert embedding.bits_per_dimension == (2, 2, 1)
+        assert embedding.host.n == 5
+
+    def test_power_of_two_mesh_has_expansion_one(self):
+        embedding = MeshToHypercubeEmbedding(Mesh((4, 2)))
+        metrics = measure_embedding(embedding)
+        assert metrics.expansion == 1.0
+        assert metrics.dilation == 1
+
+    def test_paper_mesh_dilation_one_expansion_above_one(self):
+        embedding = MeshToHypercubeEmbedding(paper_mesh(4))
+        metrics = measure_embedding(embedding)
+        assert metrics.dilation == 1
+        assert metrics.expansion == pytest.approx(32 / 24)
+
+    def test_vertex_map_is_injective(self):
+        embedding = MeshToHypercubeEmbedding(paper_mesh(4))
+        images = set(embedding.vertex_images().values())
+        assert len(images) == 24
+
+    def test_inverse(self):
+        embedding = MeshToHypercubeEmbedding(paper_mesh(4))
+        for coords in embedding.guest.nodes():
+            assert embedding.inverse(embedding.map_node(coords)) == coords
+
+    def test_inverse_rejects_unused_host_node(self):
+        embedding = MeshToHypercubeEmbedding(Mesh((3,)))
+        # Code for value 3 -> (0,1) reversed... the unused host node is the one whose
+        # Gray rank is 3, i.e. bits (0, 1) -> code 2 -> rank 3.
+        used = set(embedding.vertex_images().values())
+        unused = [node for node in embedding.host.nodes() if node not in used]
+        assert len(unused) == 1
+        with pytest.raises(InvalidParameterError):
+            embedding.inverse(unused[0])
+
+    def test_validates(self):
+        MeshToHypercubeEmbedding(paper_mesh(4)).validate()
+
+    def test_rejects_non_mesh_guest(self):
+        with pytest.raises(InvalidParameterError):
+            MeshToHypercubeEmbedding("not a mesh")
+
+    def test_degenerate_sides_of_length_one(self):
+        embedding = MeshToHypercubeEmbedding(Mesh((1, 4)))
+        assert embedding.bits_per_dimension == (0, 2)
+        metrics = measure_embedding(embedding)
+        assert metrics.dilation == 1

@@ -1,0 +1,82 @@
+"""Unit tests for repro.embedding.paths (Lemma 2 paths and unit-route path sets)."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.embedding.paths import mesh_edge_path, transposition_path, unit_route_paths
+from repro.simd.conflicts import check_unit_route_conflicts, paths_to_steps
+
+
+class TestTranspositionPath:
+    def test_includes_start_node(self):
+        path = transposition_path((3, 2, 1, 0), 3, 0)
+        assert path[0] == (3, 2, 1, 0)
+        assert path[-1] == (0, 2, 1, 3)
+
+    def test_length_one_when_symbol_at_front(self):
+        assert len(transposition_path((3, 2, 1, 0), 3, 1)) - 1 == 1
+
+    def test_length_three_otherwise(self):
+        path = transposition_path((3, 2, 1, 0), 2, 0)
+        assert len(path) - 1 == 3
+        assert path[-1] == (3, 0, 1, 2)
+
+    def test_intermediate_nodes_match_lemma2_proof(self):
+        # pi = (k ... i ... j ...): path passes through (i ... k ... j ...) then (j ... k ... i ...).
+        path = transposition_path((3, 2, 1, 0), 2, 1)
+        assert path[1][0] == 2 and path[2][0] == 1
+
+
+class TestMeshEdgePath:
+    def test_endpoints_are_the_mapped_images(self, embedding4):
+        for u, v in embedding4.guest.edges():
+            path = mesh_edge_path(embedding4, u, v)
+            assert path[0] == embedding4.map_node(u)
+            assert path[-1] == embedding4.map_node(v)
+
+    def test_paths_are_star_walks(self, embedding4):
+        for u, v in list(embedding4.guest.edges())[:20]:
+            path = mesh_edge_path(embedding4, u, v)
+            for a, b in zip(path, path[1:]):
+                assert embedding4.host.has_edge(a, b)
+
+    def test_reverse_edge_gives_reverse_endpoints(self, embedding4):
+        u, v = (0, 0, 0), (1, 0, 0)
+        forward = mesh_edge_path(embedding4, u, v)
+        backward = mesh_edge_path(embedding4, v, u)
+        assert forward[0] == backward[-1] and forward[-1] == backward[0]
+
+
+class TestUnitRoutePaths:
+    def test_participation_counts(self, embedding4):
+        # Dimension 3 (length 4): nodes with coordinate < 3 can move +1: 3*3*2 = 18 sources.
+        paths = unit_route_paths(embedding4, dimension=3, delta=+1)
+        assert len(paths) == 18
+        # Dimension 1 (length 2): only coordinate 0 can move +1: 12 sources.
+        assert len(unit_route_paths(embedding4, dimension=1, delta=+1)) == 12
+
+    def test_all_paths_same_length_within_a_route(self, embedding4):
+        for dimension in range(1, 4):
+            for delta in (+1, -1):
+                lengths = {len(p) - 1 for p in unit_route_paths(embedding4, dimension, delta).values()}
+                assert len(lengths) == 1
+                assert lengths <= {1, 3}
+
+    def test_dimension_n_minus_1_is_single_hop(self, embedding5):
+        lengths = {len(p) - 1 for p in unit_route_paths(embedding5, 4, +1).values()}
+        assert lengths == {1}
+
+    def test_lemma5_no_conflicts(self, embedding5):
+        for dimension in range(1, 5):
+            for delta in (+1, -1):
+                paths = unit_route_paths(embedding5, dimension, delta)
+                for step in paths_to_steps(paths.values()):
+                    check_unit_route_conflicts(step)  # raises on violation
+
+    def test_rejects_bad_arguments(self, embedding4):
+        with pytest.raises(InvalidParameterError):
+            unit_route_paths(embedding4, dimension=0, delta=+1)
+        with pytest.raises(InvalidParameterError):
+            unit_route_paths(embedding4, dimension=4, delta=+1)
+        with pytest.raises(InvalidParameterError):
+            unit_route_paths(embedding4, dimension=1, delta=0)

@@ -1,0 +1,117 @@
+"""Unit tests for the Appendix reshape embedding (dilation-1 reshaping of D_n)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.embedding.metrics import measure_embedding
+from repro.embedding.reshape import (
+    PaperMeshReshapeEmbedding,
+    mixed_radix_gray_decode,
+    mixed_radix_gray_encode,
+)
+
+
+class TestMixedRadixGray:
+    def test_binary_case_matches_classic_gray_order(self):
+        assert [mixed_radix_gray_encode(v, (2, 2)) for v in range(4)] == [
+            (0, 0),
+            (0, 1),
+            (1, 1),
+            (1, 0),
+        ]
+
+    @pytest.mark.parametrize("radices", [(3,), (2, 3), (3, 3), (4, 3, 2), (2, 5, 3)])
+    def test_consecutive_codes_differ_by_one_step_in_one_digit(self, radices):
+        total = math.prod(radices)
+        codes = [mixed_radix_gray_encode(v, radices) for v in range(total)]
+        for a, b in zip(codes, codes[1:]):
+            diffs = [(x, y) for x, y in zip(a, b) if x != y]
+            assert len(diffs) == 1
+            assert abs(diffs[0][0] - diffs[0][1]) == 1
+
+    @pytest.mark.parametrize("radices", [(3,), (4, 3, 2), (2, 2, 2, 2), (5, 4)])
+    def test_encode_is_a_bijection_and_decode_inverts_it(self, radices):
+        total = math.prod(radices)
+        codes = {mixed_radix_gray_encode(v, radices) for v in range(total)}
+        assert len(codes) == total
+        for v in range(total):
+            assert mixed_radix_gray_decode(mixed_radix_gray_encode(v, radices), radices) == v
+
+    def test_digits_stay_in_range(self):
+        radices = (4, 3, 2)
+        for v in range(24):
+            code = mixed_radix_gray_encode(v, radices)
+            assert all(0 <= g < r for g, r in zip(code, radices))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(InvalidParameterError):
+            mixed_radix_gray_encode(24, (4, 3, 2))
+        with pytest.raises(InvalidParameterError):
+            mixed_radix_gray_encode(-1, (4, 3, 2))
+        with pytest.raises(InvalidParameterError):
+            mixed_radix_gray_encode(0, ())
+        with pytest.raises(InvalidParameterError):
+            mixed_radix_gray_decode((0, 0), (4, 3, 2))
+        with pytest.raises(InvalidParameterError):
+            mixed_radix_gray_decode((4, 0, 0), (4, 3, 2))
+
+
+class TestPaperMeshReshapeEmbedding:
+    def test_guest_and_host_shapes(self):
+        embedding = PaperMeshReshapeEmbedding(5, 2)
+        assert embedding.guest.sides == (15, 8)
+        assert embedding.host.sides == (5, 4, 3, 2)
+        assert embedding.guest.num_nodes == embedding.host.num_nodes == 120
+
+    def test_groups_partition_the_host_dimensions(self):
+        embedding = PaperMeshReshapeEmbedding(7, 3)
+        flattened = sorted(i for group in embedding.groups for i in group)
+        assert flattened == list(range(6))
+
+    @pytest.mark.parametrize("n,d", [(4, 2), (5, 2), (5, 3), (6, 2), (6, 4)])
+    def test_vertex_map_is_a_bijection(self, n, d):
+        embedding = PaperMeshReshapeEmbedding(n, d)
+        images = set(embedding.vertex_images().values())
+        assert len(images) == math.factorial(n)
+
+    @pytest.mark.parametrize("n,d", [(4, 2), (5, 2), (5, 3)])
+    def test_inverse(self, n, d):
+        embedding = PaperMeshReshapeEmbedding(n, d)
+        for coords in embedding.guest.nodes():
+            assert embedding.inverse(embedding.map_node(coords)) == coords
+
+    @pytest.mark.parametrize("n,d", [(4, 2), (5, 2), (5, 3), (6, 2)])
+    def test_dilation_is_one_expansion_is_one(self, n, d):
+        embedding = PaperMeshReshapeEmbedding(n, d)
+        metrics = measure_embedding(embedding)
+        assert metrics.dilation == 1
+        assert metrics.expansion == 1.0
+        assert embedding.measured_dilation() == 1
+
+    def test_d_equals_one_is_a_snake_through_the_whole_mesh(self):
+        # A single guest dimension of length n!: the image sequence must be a
+        # Hamiltonian path of D_n (every step one mesh edge).
+        embedding = PaperMeshReshapeEmbedding(4, 1)
+        assert embedding.guest.sides == (24,)
+        metrics = measure_embedding(embedding)
+        assert metrics.dilation == 1
+
+    def test_d_equals_n_minus_1_is_the_identity_reshape(self):
+        embedding = PaperMeshReshapeEmbedding(5, 4)
+        assert embedding.guest.sides == (5, 4, 3, 2)
+        # Same shape, but the Gray reflection still permutes coordinates within a
+        # dimension; the map must still be a dilation-1 bijection.
+        assert measure_embedding(embedding).dilation == 1
+
+    def test_validates(self):
+        PaperMeshReshapeEmbedding(5, 2).validate()
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(InvalidParameterError):
+            PaperMeshReshapeEmbedding(5, 0)
+        with pytest.raises(InvalidParameterError):
+            PaperMeshReshapeEmbedding(5, 5)
+        with pytest.raises(InvalidParameterError):
+            PaperMeshReshapeEmbedding(1, 1)

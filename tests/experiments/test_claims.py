@@ -1,0 +1,132 @@
+"""Tests for the claim-measurement experiments (LEM1..CMP).
+
+Each test runs the experiment at a reduced size (the registry's full sizes are
+exercised by the benchmarks) and asserts that the paper's claim holds on the
+measured data.
+"""
+
+import pytest
+
+from repro.experiments.claims import (
+    exp_broadcast,
+    exp_dilation,
+    exp_lemma1_no_dilation1,
+    exp_lemma2_transposition_distance,
+    exp_optimal_dimension,
+    exp_sorting,
+    exp_star_properties,
+    exp_star_vs_hypercube,
+    exp_uniform_mesh,
+    exp_unit_route_simulation,
+)
+
+
+class TestLemma1:
+    def test_claim(self):
+        result = exp_lemma1_no_dilation1.run(max_n=7)
+        result.assert_claim()
+
+    def test_only_n2_allows_dilation_one(self):
+        result = exp_lemma1_no_dilation1.run(max_n=6)
+        possible = {row[0]: row[4] for row in result.rows}
+        assert possible[2] == "yes"
+        assert all(possible[n] == "no" for n in range(3, 7))
+
+
+class TestLemma2:
+    def test_claim(self):
+        result = exp_lemma2_transposition_distance.run(degrees=(3, 4))
+        result.assert_claim()
+
+    def test_no_other_distances_observed(self):
+        result = exp_lemma2_transposition_distance.run(degrees=(4,))
+        assert all(row[4] == 0 for row in result.rows)
+
+    def test_distance_one_count_matches_formula(self):
+        # For every node exactly n-1 of the C(n,2) symbol pairs involve the front symbol.
+        result = exp_lemma2_transposition_distance.run(degrees=(4,))
+        row = result.rows[0]
+        nodes_checked = row[1]
+        assert row[2] == nodes_checked * 3
+        assert row[3] == nodes_checked * 3  # C(4,2)=6 pairs, 3 with the front symbol
+
+
+class TestTheorem4:
+    def test_claim(self):
+        result = exp_dilation.run(degrees=(3, 4, 5))
+        result.assert_claim()
+
+    def test_every_row_reports_dilation_3(self):
+        result = exp_dilation.run(degrees=(4, 5))
+        assert all(row[4] == 3 for row in result.rows)
+        assert all(row[3] == 1.0 for row in result.rows)
+
+
+class TestTheorem6:
+    def test_claim(self):
+        result = exp_unit_route_simulation.run(degrees=(3, 4))
+        result.assert_claim()
+
+    def test_rows_cover_every_dimension_and_direction(self):
+        result = exp_unit_route_simulation.run(degrees=(4,))
+        assert len(result.rows) == 3 * 2
+        assert all(row[5] <= 3 for row in result.rows)
+
+
+class TestStarProperties:
+    def test_claim(self):
+        result = exp_star_properties.run(degrees=(3, 4), fault_trials=5)
+        result.assert_claim()
+
+
+class TestBroadcast:
+    def test_claim(self):
+        result = exp_broadcast.run(degrees=(3, 4))
+        result.assert_claim()
+
+    def test_ratio_column_within_three(self):
+        result = exp_broadcast.run(degrees=(4,))
+        assert all(row[8] <= 3.0 for row in result.rows)
+
+
+class TestUniformMesh:
+    def test_claim(self):
+        result = exp_uniform_mesh.run(degrees=(3, 4, 5), measured_degrees=(3, 4))
+        result.assert_claim()
+
+    def test_bounds_grow_with_n(self):
+        result = exp_uniform_mesh.run(degrees=(4, 6, 8), measured_degrees=())
+        theorem8 = [row[3] for row in result.rows]
+        assert theorem8 == sorted(theorem8)
+
+
+class TestOptimalDimension:
+    def test_claim(self):
+        result = exp_optimal_dimension.run(degrees=(5, 6, 7))
+        result.assert_claim()
+
+    def test_two_dimensional_factorisation_column(self):
+        result = exp_optimal_dimension.run(degrees=(6,))
+        assert result.rows[0][2] == "48x15"
+
+
+class TestSorting:
+    def test_claim(self):
+        result = exp_sorting.run(degrees=(4,))
+        result.assert_claim()
+
+    def test_ratio_and_bound_columns(self):
+        result = exp_sorting.run(degrees=(4,))
+        row = result.rows[0]
+        assert row[4] <= 3.0
+        assert row[6] <= row[7]
+
+
+class TestStarVsHypercube:
+    def test_claim(self):
+        result = exp_star_vs_hypercube.run(max_degree=6, embedding_degrees=(3, 4))
+        result.assert_claim()
+
+    def test_row_count(self):
+        result = exp_star_vs_hypercube.run(max_degree=6, embedding_degrees=(3,))
+        assert len(result.rows) == 5 + 1

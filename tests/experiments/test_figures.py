@@ -1,0 +1,103 @@
+"""Tests for the figure/table regeneration experiments (FIG2..FIG7, TAB1)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    figure2_star_graph,
+    figure3_mesh,
+    figure4_example_embedding,
+    figure5_6_conversions,
+    figure7_mapping_table,
+    table1_exchange_sequences,
+)
+from repro.experiments.figures.figure7_mapping_table import PAPER_FIGURE7
+
+
+class TestFigure2:
+    def test_claim_holds(self):
+        result = figure2_star_graph.run()
+        result.assert_claim()
+        assert result.summary["nodes"] == 24
+        assert result.summary["edges"] == 36
+        assert result.summary["diameter_measured"] == 4
+
+    def test_one_row_per_node(self):
+        result = figure2_star_graph.run()
+        assert len(result.rows) == 24
+        assert all(row[2] == 3 for row in result.rows)
+
+    def test_other_degree(self):
+        result = figure2_star_graph.run(n=3)
+        result.assert_claim()
+        assert result.summary["nodes"] == 6
+
+
+class TestFigure3:
+    def test_claim_holds(self):
+        result = figure3_mesh.run()
+        result.assert_claim()
+        assert result.summary["nodes"] == 24
+        assert result.summary["edges_formula"] == 46
+        assert result.summary["diameter"] == 6
+
+    def test_degree_range(self):
+        result = figure3_mesh.run()
+        assert result.summary["min_degree"] == 3
+        assert result.summary["max_degree"] == 5
+
+
+class TestFigure4:
+    def test_claim_holds(self):
+        result = figure4_example_embedding.run()
+        result.assert_claim()
+        assert result.summary["expansion"] == 1.0
+        assert result.summary["dilation"] == 2
+        assert result.summary["congestion"] == 2
+
+    def test_four_guest_edges(self):
+        assert len(figure4_example_embedding.run().rows) == 4
+
+
+class TestFigure5and6:
+    def test_claim_holds(self):
+        result = figure5_6_conversions.run()
+        result.assert_claim()
+        assert result.summary["convert_d_s((3,0,1))"] == "0 3 1 2"
+        assert result.summary["convert_s_d((0 2 1 3))"] == "(3, 1, 1)"
+
+    def test_traces_include_paper_intermediates(self):
+        result = figure5_6_conversions.run()
+        arrangements = [row[3] for row in result.rows]
+        # The forward example passes through (2 3 0 1) and (1 3 0 2).
+        assert "2 3 0 1" in arrangements
+        assert "1 3 0 2" in arrangements
+        # The inverse example passes through (3 1 0 2) and (3 2 0 1).
+        assert "3 1 0 2" in arrangements
+        assert "3 2 0 1" in arrangements
+
+
+class TestFigure7:
+    def test_claim_holds(self):
+        result = figure7_mapping_table.run()
+        result.assert_claim()
+        assert result.summary["mismatches"] == 0
+        assert result.summary["bijection"] is True
+
+    def test_24_rows_all_ok(self):
+        result = figure7_mapping_table.run()
+        assert len(result.rows) == 24
+        assert all(row[3] == "ok" for row in result.rows)
+
+    def test_paper_table_is_itself_a_bijection(self):
+        assert len(set(PAPER_FIGURE7.values())) == 24
+
+
+class TestTable1:
+    def test_claim_holds(self):
+        result = table1_exchange_sequences.run()
+        result.assert_claim()
+
+    def test_row_lengths(self):
+        result = table1_exchange_sequences.run(n=5)
+        assert [row[0] for row in result.rows] == [1, 2, 3, 4]
+        assert all(row[2] == row[0] for row in result.rows)

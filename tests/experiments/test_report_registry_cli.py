@@ -1,0 +1,107 @@
+"""Tests for the experiment result container, table rendering, registry and CLI."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.experiments.cli import build_parser, main
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
+from repro.experiments.report import ExperimentResult, format_table, render_result
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[1.23456], [1e-7], [2.5e9], [0.0]])
+        assert "1.235" in table
+        assert "1.000e-07" in table
+        assert "2.500e+09" in table
+
+    def test_empty_rows(self):
+        assert format_table(["only", "headers"], []).count("\n") == 1
+
+
+class TestExperimentResult:
+    def test_assert_claim_passes(self):
+        result = ExperimentResult("X", "t", ["h"], [[1]], summary={"claim_holds": True})
+        result.assert_claim()
+
+    def test_assert_claim_fails(self):
+        result = ExperimentResult("X", "t", ["h"], [[1]], summary={"claim_holds": False})
+        with pytest.raises(AssertionError):
+            result.assert_claim()
+
+    def test_assert_claim_fails_when_missing(self):
+        result = ExperimentResult("X", "t", ["h"], [[1]])
+        with pytest.raises(AssertionError):
+            result.assert_claim()
+
+    def test_render_contains_sections(self):
+        result = ExperimentResult(
+            "FIGX",
+            "a title",
+            ["col"],
+            [[42]],
+            notes=["a note"],
+            summary={"claim_holds": True, "value": 7},
+        )
+        text = render_result(result)
+        assert "[FIGX] a title" in text
+        assert "42" in text
+        assert "claim_holds: True" in text
+        assert "note: a note" in text
+
+
+class TestRegistry:
+    def test_sixteen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 16
+        assert set(list_experiments()) == set(EXPERIMENTS)
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("fig7") is EXPERIMENTS["FIG7"]
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            get_experiment("NOPE")
+
+    def test_run_experiment_by_id(self):
+        result = run_experiment("FIG4")
+        assert result.experiment_id == "FIG4"
+        result.assert_claim()
+
+    def test_experiment_ids_match_result_ids(self):
+        # Spot-check a few cheap ones; ids in results must match registry keys
+        # (FIG5 covers Figures 5 and 6 together).
+        for experiment_id in ("FIG2", "FIG3", "TAB1"):
+            assert run_experiment(experiment_id).experiment_id == experiment_id
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "FIG7" in output and "THM4" in output
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "FIG4"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+        assert "claim_holds: True" in output
+
+    def test_run_fast_subset(self, capsys):
+        assert main(["run", "LEM1", "TAB1", "--fast"]) == 0
+        output = capsys.readouterr().out
+        assert "Lemma 1" in output and "Table 1" in output
+
+    def test_run_unknown_experiment_raises(self):
+        with pytest.raises(InvalidParameterError):
+            main(["run", "UNKNOWN"])

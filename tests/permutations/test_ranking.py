@@ -1,0 +1,87 @@
+"""Unit tests for repro.permutations.ranking (Lehmer codes and lexicographic ranks)."""
+
+import math
+from itertools import permutations as itertools_permutations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError, InvalidPermutationError
+from repro.permutations.ranking import (
+    all_permutations,
+    lehmer_code,
+    lehmer_decode,
+    permutation_rank,
+    permutation_unrank,
+)
+
+
+class TestLehmerCode:
+    def test_identity_code_is_zero(self):
+        assert lehmer_code((0, 1, 2, 3)) == (0, 0, 0, 0)
+
+    def test_reverse_code(self):
+        assert lehmer_code((3, 2, 1, 0)) == (3, 2, 1, 0)
+
+    def test_worked_example(self):
+        assert lehmer_code((2, 0, 1)) == (2, 0, 0)
+
+    def test_last_digit_always_zero(self):
+        for perm in itertools_permutations(range(5)):
+            assert lehmer_code(perm)[-1] == 0
+
+    def test_round_trip(self):
+        for perm in itertools_permutations(range(5)):
+            assert lehmer_decode(lehmer_code(perm)) == perm
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(InvalidPermutationError):
+            lehmer_code((0, 0, 1))
+
+    def test_decode_rejects_out_of_range_digit(self):
+        with pytest.raises(InvalidParameterError):
+            lehmer_decode((3, 0, 0))  # first digit must be < 3 for degree 3
+
+
+class TestRankUnrank:
+    def test_identity_rank_zero(self):
+        assert permutation_rank((0, 1, 2, 3)) == 0
+
+    def test_reverse_has_max_rank(self):
+        assert permutation_rank((3, 2, 1, 0)) == math.factorial(4) - 1
+
+    def test_rank_matches_lexicographic_enumeration(self):
+        for n in (1, 2, 3, 4, 5):
+            for expected_rank, perm in enumerate(itertools_permutations(range(n))):
+                assert permutation_rank(perm) == expected_rank
+
+    def test_unrank_round_trip(self):
+        n = 6
+        for rank in range(0, math.factorial(n), 37):
+            assert permutation_rank(permutation_unrank(rank, n)) == rank
+
+    def test_unrank_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            permutation_unrank(math.factorial(4), 4)
+        with pytest.raises(InvalidParameterError):
+            permutation_unrank(-1, 4)
+
+    def test_unrank_rejects_non_int(self):
+        with pytest.raises(InvalidParameterError):
+            permutation_unrank(1.0, 3)
+
+    def test_unrank_rejects_bad_degree(self):
+        with pytest.raises(InvalidParameterError):
+            permutation_unrank(0, 0)
+
+
+class TestAllPermutations:
+    def test_count(self):
+        assert sum(1 for _ in all_permutations(5)) == 120
+
+    def test_order_matches_rank(self):
+        for rank, perm in enumerate(all_permutations(4)):
+            assert permutation_rank(perm) == rank
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(InvalidParameterError):
+            all_permutations(0)

@@ -1,0 +1,53 @@
+"""Unit tests for repro.simd.conflicts (the Lemma 5 runtime check)."""
+
+import pytest
+
+from repro.exceptions import RouteConflictError
+from repro.simd.conflicts import UnitRouteStep, check_unit_route_conflicts, paths_to_steps
+
+
+class TestCheckUnitRouteConflicts:
+    def test_disjoint_moves_pass(self):
+        step = UnitRouteStep(moves=(((0,), (1,)), ((2,), (3,))))
+        check_unit_route_conflicts(step)  # no exception
+        assert step.num_messages == 2
+
+    def test_empty_step_passes(self):
+        check_unit_route_conflicts(UnitRouteStep(moves=()))
+
+    def test_double_send_detected(self):
+        step = UnitRouteStep(moves=(((0,), (1,)), ((0,), (2,))))
+        with pytest.raises(RouteConflictError, match="transmits twice"):
+            check_unit_route_conflicts(step)
+
+    def test_double_receive_detected(self):
+        step = UnitRouteStep(moves=(((0,), (1,)), ((2,), (1,))))
+        with pytest.raises(RouteConflictError, match="receives twice"):
+            check_unit_route_conflicts(step)
+
+    def test_swap_is_legal(self):
+        step = UnitRouteStep(moves=(((0,), (1,)), ((1,), (0,))))
+        check_unit_route_conflicts(step)
+
+
+class TestPathsToSteps:
+    def test_empty_input(self):
+        assert paths_to_steps([]) == []
+
+    def test_equal_length_paths(self):
+        steps = paths_to_steps([[(0,), (1,), (2,)], [(5,), (6,), (7,)]])
+        assert len(steps) == 2
+        assert steps[0].moves == (((0,), (1,)), ((5,), (6,)))
+        assert steps[1].moves == (((1,), (2,)), ((6,), (7,)))
+
+    def test_shorter_paths_stop_contributing(self):
+        steps = paths_to_steps([[(0,), (1,)], [(5,), (6,), (7,), (8,)]])
+        assert len(steps) == 3
+        assert steps[0].num_messages == 2
+        assert steps[1].num_messages == 1
+        assert steps[2].num_messages == 1
+
+    def test_single_node_paths_contribute_nothing(self):
+        steps = paths_to_steps([[(0,)], [(1,), (2,)]])
+        assert len(steps) == 1
+        assert steps[0].moves == (((1,), (2,)),)

@@ -1,0 +1,159 @@
+"""Unit tests for the EmbeddedMeshMachine (Theorem 6 executed in software)."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.embedding.mesh_to_star import MeshToStarEmbedding
+from repro.simd.embedded import EmbeddedMeshMachine
+from repro.simd.mesh_machine import MeshMachine
+
+
+@pytest.fixture
+def pair4():
+    """A native D_4 mesh machine and an embedded one, identically initialised."""
+    native = MeshMachine((4, 3, 2))
+    embedded = EmbeddedMeshMachine(4)
+    for machine in (native, embedded):
+        machine.define_register("A", lambda node: node)
+        machine.define_register("B", None)
+    return native, embedded
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        machine = EmbeddedMeshMachine(4)
+        assert machine.n == 4
+        assert machine.num_pes == 24
+        assert machine.sides == (4, 3, 2)
+        assert machine.star_machine.n == 4
+        assert len(machine.nodes) == 24
+
+    def test_accepts_prebuilt_embedding(self, embedding4):
+        machine = EmbeddedMeshMachine(4, embedding=embedding4)
+        assert machine.embedding is embedding4
+
+    def test_rejects_mismatched_embedding(self, embedding5):
+        with pytest.raises(InvalidParameterError):
+            EmbeddedMeshMachine(4, embedding=embedding5)
+
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(InvalidParameterError):
+            EmbeddedMeshMachine(1)
+
+
+class TestRegisters:
+    def test_registers_are_keyed_by_mesh_nodes(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", lambda node: sum(node))
+        values = machine.read_register("A")
+        assert set(values) == set(machine.mesh.nodes())
+        assert values[(3, 2, 1)] == 6
+
+    def test_mapping_init_and_write_value(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", {(0, 0, 0): "origin"})
+        assert machine.read_value("A", (0, 0, 0)) == "origin"
+        machine.write_value("A", (1, 1, 1), "interior")
+        assert machine.read_value("A", (1, 1, 1)) == "interior"
+
+    def test_register_names_proxy(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("X", 0)
+        assert "X" in machine.register_names
+
+    def test_values_live_on_the_mapped_star_pe(self, embedding4):
+        machine = EmbeddedMeshMachine(4, embedding=embedding4)
+        machine.define_register("A", {(3, 0, 1): "tagged"})
+        star_values = machine.star_machine.read_register("A")
+        assert star_values[(0, 3, 1, 2)] == "tagged"  # Figure 7 image of (3,0,1)
+
+
+class TestApply:
+    def test_unmasked(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", 3)
+        machine.apply("B", lambda a: a * 2, "A")
+        assert all(v == 6 for v in machine.read_register("B").values())
+
+    def test_masked_with_mesh_predicate(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", 0)
+        machine.apply("A", lambda a: a + 1, "A", where=lambda node: node[0] == 0)
+        values = machine.read_register("A")
+        assert sum(values.values()) == 6  # 6 mesh nodes have first coordinate 0
+
+    def test_masked_with_node_list(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", 0)
+        machine.apply("A", lambda a: 1, "A", where=[(0, 0, 0), (1, 1, 1)])
+        assert sum(machine.read_register("A").values()) == 2
+
+    def test_local_op_counting(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", 0)
+        machine.apply("A", lambda a: a, "A")
+        assert machine.stats.local_operations == 24
+
+
+class TestRouting:
+    def test_matches_native_mesh_machine_on_every_dimension(self, pair4):
+        native, embedded = pair4
+        for dim in range(3):
+            for delta in (+1, -1):
+                native.route_dimension("A", "B", dim, delta)
+                embedded.route_dimension("A", "B", dim, delta)
+                assert native.read_register("B") == embedded.read_register("B")
+
+    def test_star_routes_at_most_three_per_mesh_route(self, pair4):
+        _, embedded = pair4
+        for dim in range(3):
+            for delta in (+1, -1):
+                used = embedded.route_dimension("A", "B", dim, delta)
+                assert used <= 3
+        assert embedded.star_stats.unit_routes <= 3 * embedded.stats.unit_routes
+
+    def test_longest_dimension_is_single_hop(self, pair4):
+        _, embedded = pair4
+        assert embedded.route_dimension("A", "B", 0, +1) == 1
+
+    def test_shorter_dimensions_take_three_hops(self, pair4):
+        _, embedded = pair4
+        assert embedded.route_dimension("A", "B", 1, +1) == 3
+        assert embedded.route_dimension("A", "B", 2, +1) == 3
+
+    def test_masked_route(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", lambda node: node)
+        machine.define_register("B", None)
+        machine.route_dimension("A", "B", 0, +1, where=lambda node: node == (0, 0, 0))
+        received = [node for node, value in machine.read_register("B").items() if value is not None]
+        assert received == [(1, 0, 0)]
+
+    def test_route_paper_dimension(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", lambda node: node)
+        machine.define_register("B", None)
+        machine.route_paper_dimension("A", "B", 3, +1)  # paper dim 3 = tuple dim 0
+        assert machine.read_value("B", (1, 0, 0)) == (0, 0, 0)
+
+    def test_rejects_bad_arguments(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", 0)
+        with pytest.raises(InvalidParameterError):
+            machine.route_dimension("A", "B", 0, 0)
+        with pytest.raises(InvalidParameterError):
+            machine.route_dimension("A", "B", 7, 1)
+
+    def test_reset_stats_clears_both_ledgers(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", 0)
+        machine.route_dimension("A", "B", 1, +1)
+        machine.reset_stats()
+        assert machine.stats.unit_routes == 0
+        assert machine.star_stats.unit_routes == 0
+
+    def test_copy_register(self):
+        machine = EmbeddedMeshMachine(4)
+        machine.define_register("A", lambda node: node)
+        machine.copy_register("A", "copy")
+        assert machine.read_register("copy") == machine.read_register("A")

@@ -1,0 +1,142 @@
+"""Unit tests for repro.topology.star (the star graph S_n)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidNodeError, InvalidParameterError
+from repro.topology.nx_adapter import bfs_distances, bfs_eccentricity
+from repro.topology.star import StarGraph
+
+
+class TestConstruction:
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(InvalidParameterError):
+            StarGraph(1)
+        with pytest.raises(InvalidParameterError):
+            StarGraph(0)
+
+    def test_equality_and_hash(self):
+        assert StarGraph(4) == StarGraph(4)
+        assert StarGraph(4) != StarGraph(5)
+        assert hash(StarGraph(3)) == hash(StarGraph(3))
+
+    def test_repr(self):
+        assert "StarGraph(n=4)" in repr(StarGraph(4))
+
+
+class TestCounts:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_node_count_is_factorial(self, n):
+        assert StarGraph(n).num_nodes == math.factorial(n)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_edge_count_formula_matches_enumeration(self, n):
+        star = StarGraph(n)
+        enumerated = sum(len(star.neighbors(node)) for node in star.nodes()) // 2
+        assert star.num_edges == enumerated == math.factorial(n) * (n - 1) // 2
+
+    def test_nodes_enumerated_once_each(self, star4):
+        nodes = list(star4.nodes())
+        assert len(nodes) == len(set(nodes)) == 24
+
+
+class TestMembership:
+    def test_valid_nodes(self, star4):
+        assert star4.is_node((3, 2, 1, 0))
+        assert (0, 1, 2, 3) in star4
+
+    def test_invalid_nodes(self, star4):
+        assert not star4.is_node((0, 1, 2))
+        assert not star4.is_node((0, 0, 1, 2))
+        assert not star4.is_node((0, 1, 2, 4))
+        assert [0, 1, 2, 3] in star4  # list coerced to tuple
+
+    def test_validate_node_raises(self, star4):
+        with pytest.raises(InvalidNodeError):
+            star4.validate_node((1, 1, 2, 3))
+
+
+class TestNeighbors:
+    def test_degree_is_n_minus_1(self, star4):
+        for node in star4.nodes():
+            assert star4.degree(node) == 3
+
+    def test_neighbor_along_matches_paper_notation(self, star4):
+        # Paper: pi^(i) exchanges a_{n-1} with a_i; generator j = n-1-i here.
+        node = (0, 1, 2, 3)
+        assert star4.neighbor_along(node, 1) == (1, 0, 2, 3)
+        assert star4.neighbor_along(node, 3) == (3, 1, 2, 0)
+
+    def test_generator_between_roundtrip(self, star4):
+        node = (2, 3, 0, 1)
+        for j in range(1, 4):
+            neighbor = star4.neighbor_along(node, j)
+            assert star4.generator_between(node, neighbor) == j
+
+    def test_generator_between_rejects_non_adjacent(self, star4):
+        with pytest.raises(InvalidParameterError):
+            star4.generator_between((0, 1, 2, 3), (1, 0, 3, 2))
+
+    def test_adjacency_is_symmetric(self, star4):
+        for node in star4.nodes():
+            for neighbor in star4.neighbors(node):
+                assert node in star4.neighbors(neighbor)
+
+    def test_has_edge(self, star4):
+        assert star4.has_edge((0, 1, 2, 3), (1, 0, 2, 3))
+        assert not star4.has_edge((0, 1, 2, 3), (0, 1, 3, 2))
+
+
+class TestIndexing:
+    def test_index_round_trip(self, star4):
+        for index, node in enumerate(star4.nodes()):
+            assert star4.node_index(node) == index
+            assert star4.node_from_index(index) == node
+
+    def test_index_out_of_range(self, star4):
+        with pytest.raises(InvalidParameterError):
+            star4.node_from_index(24)
+
+
+class TestMetric:
+    def test_identity_and_paper_origin(self, star4):
+        assert star4.identity == (0, 1, 2, 3)
+        assert star4.paper_origin == (3, 2, 1, 0)
+
+    def test_distance_zero_and_one(self, star4):
+        assert star4.distance((0, 1, 2, 3), (0, 1, 2, 3)) == 0
+        assert star4.distance((0, 1, 2, 3), (1, 0, 2, 3)) == 1
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_distance_matches_bfs_from_identity(self, n):
+        star = StarGraph(n)
+        oracle = bfs_distances(star, star.identity)
+        for node, expected in oracle.items():
+            assert star.distance(star.identity, node) == expected
+
+    def test_distance_is_symmetric(self, star4):
+        nodes = list(star4.nodes())
+        for u in nodes[:6]:
+            for v in nodes[-6:]:
+                assert star4.distance(u, v) == star4.distance(v, u)
+
+    def test_shortest_path_is_valid_and_optimal(self, star4):
+        source, target = (0, 1, 2, 3), (3, 2, 1, 0)
+        path = star4.shortest_path(source, target)
+        assert path[0] == source and path[-1] == target
+        assert len(path) - 1 == star4.distance(source, target)
+        for a, b in zip(path, path[1:]):
+            assert star4.has_edge(a, b)
+
+    @pytest.mark.parametrize("n,expected", [(2, 1), (3, 3), (4, 4), (5, 6), (6, 7), (10, 13)])
+    def test_diameter_closed_form(self, n, expected):
+        assert StarGraph(n).diameter() == expected
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_diameter_matches_bfs(self, n):
+        star = StarGraph(n)
+        assert bfs_eccentricity(star, star.identity) == star.diameter()
+
+    def test_eccentricity_equals_diameter(self, star4):
+        assert star4.eccentricity((1, 3, 0, 2)) == star4.diameter()
