@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and record a trimmed perf snapshot.
+
+Runs ``pytest benchmarks/ --benchmark-json`` and trims the result to the
+median wall-clock per benchmark, written as ``BENCH_<date>.json`` in the
+repository root.  Committing one snapshot per perf-relevant PR gives a
+queryable trajectory of the hot paths across the repository's history::
+
+    python benchmarks/run_bench.py                  # full suite
+    python benchmarks/run_bench.py -k fast_core     # one module / selection
+    python benchmarks/run_bench.py --output /tmp/b.json
+
+Any extra arguments are forwarded to pytest (e.g. ``-k``, ``-x``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_benchmarks(pytest_args: list) -> dict:
+    """Execute the benchmark suite, returning pytest-benchmark's raw JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+        )
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/",
+            "--benchmark-only",
+            f"--benchmark-json={raw_path}",
+            *pytest_args,
+        ]
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(completed.returncode)
+        with open(raw_path) as handle:
+            return json.load(handle)
+
+
+def trim(raw: dict) -> dict:
+    """Keep only what the perf trajectory needs: the median per benchmark."""
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        commit = None
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    medians = {
+        bench["fullname"].replace("benchmarks/", "", 1): {
+            "median_seconds": bench["stats"]["median"],
+            "rounds": bench["stats"]["rounds"],
+        }
+        for bench in raw.get("benchmarks", [])
+    }
+    return {
+        "date": _dt.date.today().isoformat(),
+        "commit": commit,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "medians": dict(sorted(medians.items())),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="destination file (default: BENCH_<date>.json in the repo root)",
+    )
+    args, pytest_args = parser.parse_known_args()
+    snapshot = trim(run_benchmarks(pytest_args))
+    output = args.output or REPO_ROOT / f"BENCH_{snapshot['date']}.json"
+    with open(output, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {output} ({len(snapshot['medians'])} benchmarks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,161 @@
+"""Before/after ablation for the rank-indexed fast core.
+
+Every pair pins one tentpole claim: the ``*_tuple_baseline`` benchmark
+re-enacts the seed implementation (tuple nodes, tuple-keyed dicts, per-call
+validation) on the current machine, and its partner runs the same workload
+through the rank-indexed core (dense move-table gathers, vectorised distance
+sweeps, cached validated unit-route plans).  The acceptance target is a >= 5x
+median speedup on the neighbourhood scan and the embedded mesh unit route;
+``run_bench.py`` trims a run of this suite (plus the standing benchmark
+modules) into ``BENCH_<date>.json`` so the trajectory is tracked across PRs.
+
+The degree-8 benchmarks have no tuple baseline on purpose: with the seed
+implementation a single embedded unit route at ``n = 8`` spends seconds in
+path construction and conflict re-validation, which is exactly the wall the
+fast core removes (feasible SIMD degree raised from 7 to 8-9).
+"""
+
+import pytest
+
+from repro.embedding.mesh_to_star import MeshToStarEmbedding
+from repro.embedding.paths import unit_route_paths
+from repro.simd.embedded import EmbeddedMeshMachine
+from repro.simd.star_machine import StarMachine
+from repro.topology.routing import star_distance, star_distances_from
+from repro.topology.star import StarGraph
+
+
+# ----------------------------------------------------------- neighbourhood scan
+@pytest.mark.parametrize("n", [4, 5])
+def test_neighbor_scan_tuple_baseline(benchmark, n):
+    """Seed implementation: build n-1 neighbour tuples per node."""
+    star = StarGraph(n)
+
+    def scan():
+        return sum(len(star.neighbors(node)) for node in star.nodes())
+
+    total = benchmark(scan)
+    assert total == star.num_nodes * (n - 1)
+
+
+@pytest.mark.parametrize("n", [4, 5, 7])
+def test_neighbor_scan_rank_indexed(benchmark, n):
+    """Fast core: one dense sweep over the precomputed move tables."""
+    star = StarGraph(n)
+    star.move_tables()
+
+    def scan():
+        total = 0
+        for table in star.move_tables():
+            assert int(table.min() if hasattr(table, "min") else min(table)) >= 0
+            total += len(table)
+        return total
+
+    total = benchmark(scan)
+    assert total == star.num_nodes * (n - 1)
+
+
+# ------------------------------------------------------------- distance sweeps
+@pytest.mark.parametrize("n", [5, 6])
+def test_distance_sweep_scalar_baseline(benchmark, n):
+    """Seed implementation: one closed-form star_distance call per node."""
+    star = StarGraph(n)
+    origin = star.paper_origin
+    nodes = list(star.nodes())
+
+    def sweep():
+        return [star_distance(origin, node) for node in nodes]
+
+    distances = benchmark(sweep)
+    assert max(distances) <= star.diameter()
+
+
+@pytest.mark.parametrize("n", [5, 6, 8])
+def test_distance_sweep_vectorised(benchmark, n):
+    """Fast core: all n! distances in one vectorised cycle-structure sweep."""
+    star = StarGraph(n)
+    origin = star.paper_origin
+
+    def sweep():
+        return star_distances_from(origin)
+
+    distances = benchmark(sweep)
+    assert int(max(distances)) <= star.diameter()
+
+
+# ------------------------------------------------------------ generator routes
+@pytest.mark.parametrize("n", [5, 6])
+def test_generator_route_tuple_baseline(benchmark, n):
+    """Seed implementation: tuple moves through the validated generic route."""
+    machine = StarMachine(n)
+    machine.define_register("A", 1)
+    star = machine.star
+
+    def route():
+        moves = [(node, star.neighbor_along(node, 2)) for node in machine.nodes]
+        machine.route_moves("A", "B", moves, label="generator-2")
+
+    benchmark(route)
+
+
+@pytest.mark.parametrize("n", [5, 6, 8])
+def test_generator_route_move_table(benchmark, n):
+    """Fast core: one whole-register gather through the move table."""
+    machine = StarMachine(n)
+    machine.define_register("A", 1)
+    machine.route_generator("A", "B", 2)  # warm the validated table
+
+    def route():
+        machine.route_generator("A", "B", 2)
+
+    benchmark(route)
+
+
+# ------------------------------------------------------- embedded unit routes
+@pytest.mark.parametrize("n", [4, 5])
+def test_embedded_route_tuple_baseline(benchmark, n):
+    """Seed implementation: tuple-path replay with per-call conflict checks.
+
+    The tuple paths are prebuilt (the seed cached them per machine too); the
+    timed region is the per-route validation + tuple-dict replay the fast
+    core's plans eliminate.
+    """
+    machine = EmbeddedMeshMachine(n)
+    machine.define_register("A", 1)
+    embedding = machine.embedding
+    to_star = embedding.vertex_images()
+    mesh_paths = unit_route_paths(embedding, embedding.n - 1 - 1, +1)
+    star_paths = {to_star[src]: path for src, path in mesh_paths.items()}
+
+    def route():
+        machine.star_machine.route_paths("A", "B", star_paths, label="mesh-dim1+")
+
+    benchmark(route)
+
+
+@pytest.mark.parametrize("n", [4, 5, 8])
+def test_embedded_route_plan_replay(benchmark, n):
+    """Fast core: cached rank-indexed plan, conflict-validated once."""
+    machine = EmbeddedMeshMachine(n)
+    machine.define_register("A", 1)
+    machine.route_dimension("A", "B", 1, +1)  # build + validate the plan
+
+    def route():
+        machine.route_dimension("A", "B", 1, +1)
+
+    benchmark(route)
+
+
+# ------------------------------------------------------------- plan compilation
+@pytest.mark.parametrize("n", [5, 6])
+def test_plan_compilation(benchmark, n):
+    """One-time cost of building + validating a unit-route plan (amortised)."""
+    from repro.simd.plans import build_unit_route_plan
+
+    embedding = MeshToStarEmbedding(n)
+
+    def build():
+        return build_unit_route_plan(embedding, 2, +1)
+
+    plan = benchmark(build)
+    assert plan.num_steps in (1, 3)

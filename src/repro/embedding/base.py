@@ -87,6 +87,18 @@ class Embedding:
         """Human-readable label."""
         return self._name
 
+    @property
+    def shortest_path_routed(self) -> bool:
+        """True when every assigned edge path is a shortest host path.
+
+        Embeddings without an explicit ``edge_path`` function route along
+        shortest host paths by construction; subclasses with custom paths that
+        are provably shortest (e.g. the paper's Lemma-2 canonical paths)
+        override this so :func:`repro.embedding.metrics.measure_embedding` can
+        reuse the assigned path length as the shortest-path distance.
+        """
+        return self._edge_path_fn is None
+
     # ------------------------------------------------------------------ maps
     def map_node(self, guest_node: Node) -> Node:
         """Image of a guest node in the host graph (the paper's ``m(x)``)."""

@@ -273,6 +273,11 @@ class MeshToStarEmbedding(Embedding):
         return self._n
 
     @property
+    def shortest_path_routed(self) -> bool:
+        """Lemma 2: the canonical 1- and 3-hop paths are shortest star paths."""
+        return True
+
+    @property
     def mesh(self) -> Mesh:
         """The guest mesh ``D_n``."""
         return self.guest  # type: ignore[return-value]

@@ -38,8 +38,24 @@ __all__ = [
 UndirectedEdge = Tuple[Node, Node]
 
 
-def _canonical_edge(u: Node, v: Node) -> UndirectedEdge:
-    return (u, v) if u <= v else (v, u)
+class _EdgeInterner:
+    """Canonical ``(rank, rank)`` ids for undirected host edges.
+
+    Host nodes are interned to dense integer ranks on first sight (insertion
+    order -- the ids only need to be stable within one measurement), so the
+    congestion counters hash small int pairs instead of tuple-of-tuple edges.
+    """
+
+    __slots__ = ("_rank_of",)
+
+    def __init__(self) -> None:
+        self._rank_of: Dict[Node, int] = {}
+
+    def edge_id(self, u: Node, v: Node) -> Tuple[int, int]:
+        rank_of = self._rank_of
+        a = rank_of.setdefault(u, len(rank_of))
+        b = rank_of.setdefault(v, len(rank_of))
+        return (a, b) if a <= b else (b, a)
 
 
 @dataclass(frozen=True)
@@ -101,9 +117,10 @@ def average_dilation(embedding: Embedding) -> float:
 def congestion(embedding: Embedding) -> int:
     """Maximum number of assigned paths crossing any single host edge."""
     counter: Counter = Counter()
+    edges = _EdgeInterner()
     for _, path in embedding.edge_paths():
         for a, b in pairwise(path):
-            counter[_canonical_edge(a, b)] += 1
+            counter[edges.edge_id(a, b)] += 1
     return max(counter.values()) if counter else 0
 
 
@@ -127,9 +144,20 @@ def verify_embedding(embedding: Embedding, *, max_dilation: Optional[int] = None
 
 
 def measure_embedding(embedding: Embedding) -> EmbeddingMetrics:
-    """Compute every metric in a single pass over the edge paths."""
+    """Compute every metric in a single pass over the edge paths.
+
+    The vertex images are materialised once up front (instead of two
+    ``map_node`` calls per guest edge), and when the embedding declares itself
+    shortest-path-routed (``embedding.shortest_path_routed``) the assigned
+    path length doubles as the shortest-path distance, skipping the per-edge
+    ``host.distance`` calls entirely.
+    """
+    images = embedding.vertex_images()
+    shortest_routed = getattr(embedding, "shortest_path_routed", False)
+
     edge_lengths: Counter = Counter()
     link_usage: Counter = Counter()
+    edges = _EdgeInterner()
     shortest_dilation = 0
     guest_edges = 0
     for (u, v), path in embedding.edge_paths():
@@ -137,11 +165,13 @@ def measure_embedding(embedding: Embedding) -> EmbeddingMetrics:
         length = len(path) - 1
         edge_lengths[length] += 1
         for a, b in pairwise(path):
-            link_usage[_canonical_edge(a, b)] += 1
-        shortest = embedding.host.distance(embedding.map_node(u), embedding.map_node(v))
+            link_usage[edges.edge_id(a, b)] += 1
+        if shortest_routed:
+            shortest = length
+        else:
+            shortest = embedding.host.distance(images[u], images[v])
         shortest_dilation = max(shortest_dilation, shortest)
 
-    images = embedding.vertex_images()
     load: Counter = Counter(images.values())
 
     total_length = sum(length * count for length, count in edge_lengths.items())

@@ -29,11 +29,16 @@ from repro.permutations.permutation import (
     position_from_left,
 )
 from repro.permutations.ranking import (
+    factorials,
+    inversion_count,
     lehmer_code,
     lehmer_decode,
+    move_tables,
     permutation_rank,
     permutation_unrank,
     all_permutations,
+    all_permutations_array,
+    ranks_of,
 )
 from repro.permutations.generators import (
     star_generator,
@@ -50,11 +55,16 @@ __all__ = [
     "swap_positions",
     "swap_symbols",
     "position_from_left",
+    "factorials",
+    "inversion_count",
     "lehmer_code",
     "lehmer_decode",
+    "move_tables",
     "permutation_rank",
     "permutation_unrank",
     "all_permutations",
+    "all_permutations_array",
+    "ranks_of",
     "star_generator",
     "star_neighbors",
     "apply_star_generator",

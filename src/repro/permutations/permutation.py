@@ -244,13 +244,16 @@ class Permutation:
         return tuple(i for i, v in enumerate(self._values) if i == v)
 
     def num_inversions(self) -> int:
-        """Number of inversions (pairs ``i < j`` with ``self[i] > self[j]``)."""
-        count = 0
-        for i in range(self.degree):
-            for j in range(i + 1, self.degree):
-                if self._values[i] > self._values[j]:
-                    count += 1
-        return count
+        """Number of inversions (pairs ``i < j`` with ``self[i] > self[j]``).
+
+        Computed as the sum of the Lehmer-code digits
+        (:func:`repro.permutations.ranking.inversion_count`), which switches
+        to an O(n log n) Fenwick-tree count at larger degrees.
+        """
+        # Imported here: ranking depends on this module for validation.
+        from repro.permutations.ranking import _lehmer_digits
+
+        return sum(_lehmer_digits(self._values))
 
     def parity(self) -> int:
         """0 for even permutations, 1 for odd permutations."""

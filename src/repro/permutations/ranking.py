@@ -5,24 +5,117 @@ The SIMD simulator gives every star-graph node a dense integer id in
 permutations and such ids is the classic *Lehmer code* (factorial number
 system): digit ``i`` of the code counts how many symbols to the right of tuple
 position ``i`` are smaller than the symbol at position ``i``.
+
+This module is the substrate of the rank-indexed fast core:
+
+* :func:`factorials` -- module-level cached factorial tables, so no hot path
+  ever calls :func:`math.factorial` per element;
+* :func:`lehmer_code` / :func:`lehmer_decode` -- encode switches to a Fenwick
+  (binary indexed) tree above a small degree, giving the O(n log n)-style
+  bound instead of the naive double loop;
+* :func:`inversion_count` -- Lehmer-based inversion counting shared with
+  :meth:`repro.permutations.permutation.Permutation.num_inversions`;
+* :func:`all_permutations_array` / :func:`ranks_of` -- NumPy-vectorised
+  enumeration and ranking of whole permutation populations;
+* :func:`move_tables` -- the per-degree ``(n-1) x n!`` tables mapping
+  ``rank -> rank of the neighbour along star generator g_j``, precomputed once
+  and shared by every :class:`~repro.topology.star.StarGraph` and SIMD machine
+  of that degree.
 """
 
 from __future__ import annotations
 
-import math
+from functools import lru_cache
 from itertools import permutations as _itertools_permutations
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.exceptions import InvalidParameterError, InvalidPermutationError
 from repro.permutations.permutation import is_permutation
 
+try:  # pragma: no cover - exercised indirectly on both branches
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes NumPy in
+    _np = None
+
 __all__ = [
+    "factorials",
     "lehmer_code",
     "lehmer_decode",
+    "inversion_count",
     "permutation_rank",
     "permutation_unrank",
     "all_permutations",
+    "all_permutations_array",
+    "ranks_of",
+    "move_tables",
+    "MAX_TABLE_DEGREE",
 ]
+
+# Beyond this degree the dense n! tables stop being a sensible default
+# (n = 11 would need 8 * 10 * 11! bytes ~ 3.2 GB across the generators,
+# plus comparable working sets in the vectorised sweeps).
+MAX_TABLE_DEGREE = 10
+
+# int64 rank accumulation overflows at 21! - 1 > 2**63 - 1; beyond this the
+# vectorised path must defer to exact Python integers.
+_MAX_INT64_RANK_DEGREE = 20
+
+# Degree below which the naive O(n^2) Lehmer loop beats the Fenwick tree's
+# constant factor in CPython.
+_FENWICK_THRESHOLD = 16
+
+
+@lru_cache(maxsize=None)
+def factorials(n: int) -> Tuple[int, ...]:
+    """The cached table ``(0!, 1!, ..., n!)``.
+
+    >>> factorials(4)
+    (1, 1, 2, 6, 24)
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    table = [1]
+    for k in range(1, n + 1):
+        table.append(table[-1] * k)
+    return tuple(table)
+
+
+def _lehmer_digits_naive(perm: Sequence[int]) -> List[int]:
+    n = len(perm)
+    return [
+        sum(1 for j in range(i + 1, n) if perm[j] < perm[i]) for i in range(n)
+    ]
+
+
+def _lehmer_digits_fenwick(perm: Sequence[int]) -> List[int]:
+    """Lehmer digits in O(n log n) via a Fenwick tree over symbol values.
+
+    Scanning right to left, the tree counts how many already-seen symbols
+    (i.e. symbols to the right) are smaller than the current one.
+    """
+    n = len(perm)
+    tree = [0] * (n + 1)
+    code = [0] * n
+    for i in range(n - 1, -1, -1):
+        symbol = perm[i]
+        # prefix sum over symbols < perm[i]
+        count = 0
+        k = symbol  # 1-based prefix up to symbol-1 is index `symbol`
+        while k > 0:
+            count += tree[k]
+            k -= k & -k
+        code[i] = count
+        k = symbol + 1
+        while k <= n:
+            tree[k] += 1
+            k += k & -k
+    return code
+
+
+def _lehmer_digits(perm: Sequence[int]) -> List[int]:
+    if len(perm) < _FENWICK_THRESHOLD:
+        return _lehmer_digits_naive(perm)
+    return _lehmer_digits_fenwick(perm)
 
 
 def lehmer_code(perm: Sequence[int]) -> Tuple[int, ...]:
@@ -37,12 +130,7 @@ def lehmer_code(perm: Sequence[int]) -> Tuple[int, ...]:
     perm = tuple(perm)
     if not is_permutation(perm):
         raise InvalidPermutationError(f"{perm!r} is not a permutation")
-    n = len(perm)
-    code: List[int] = []
-    for i in range(n):
-        smaller_to_right = sum(1 for j in range(i + 1, n) if perm[j] < perm[i])
-        code.append(smaller_to_right)
-    return tuple(code)
+    return tuple(_lehmer_digits(perm))
 
 
 def lehmer_decode(code: Sequence[int]) -> Tuple[int, ...]:
@@ -64,6 +152,29 @@ def lehmer_decode(code: Sequence[int]) -> Tuple[int, ...]:
     return tuple(perm)
 
 
+def inversion_count(perm: Sequence[int]) -> int:
+    """Number of inversions of *perm* (the sum of its Lehmer digits).
+
+    >>> inversion_count((2, 0, 1))
+    2
+    """
+    perm = tuple(perm)
+    if not is_permutation(perm):
+        raise InvalidPermutationError(f"{perm!r} is not a permutation")
+    return sum(_lehmer_digits(perm))
+
+
+def _rank_unchecked(perm: Sequence[int]) -> int:
+    """Lexicographic rank of a known-valid permutation (no validation)."""
+    digits = _lehmer_digits(perm)
+    n = len(digits)
+    fact = factorials(n)
+    rank = 0
+    for i, c in enumerate(digits):
+        rank += c * fact[n - 1 - i]
+    return rank
+
+
 def permutation_rank(perm: Sequence[int]) -> int:
     """Lexicographic rank of *perm* among all permutations of its degree.
 
@@ -74,12 +185,10 @@ def permutation_rank(perm: Sequence[int]) -> int:
     >>> permutation_rank((2, 1, 0))
     5
     """
-    code = lehmer_code(perm)
-    n = len(code)
-    rank = 0
-    for i, c in enumerate(code):
-        rank += c * math.factorial(n - 1 - i)
-    return rank
+    perm = tuple(perm)
+    if not is_permutation(perm):
+        raise InvalidPermutationError(f"{perm!r} is not a permutation")
+    return _rank_unchecked(perm)
 
 
 def permutation_unrank(rank: int, n: int) -> Tuple[int, ...]:
@@ -94,13 +203,13 @@ def permutation_unrank(rank: int, n: int) -> Tuple[int, ...]:
         raise InvalidParameterError("rank must be an int")
     if n < 1:
         raise InvalidParameterError(f"degree must be >= 1, got {n}")
-    total = math.factorial(n)
+    fact = factorials(n)
+    total = fact[n]
     if not (0 <= rank < total):
         raise InvalidParameterError(f"rank must be in [0, {total}), got {rank}")
     code: List[int] = []
     for i in range(n):
-        f = math.factorial(n - 1 - i)
-        digit, rank = divmod(rank, f)
+        digit, rank = divmod(rank, fact[n - 1 - i])
         code.append(digit)
     return lehmer_decode(code)
 
@@ -114,3 +223,107 @@ def all_permutations(n: int) -> Iterator[Tuple[int, ...]]:
     if n < 1:
         raise InvalidParameterError(f"degree must be >= 1, got {n}")
     return iter(_itertools_permutations(range(n)))
+
+
+# --------------------------------------------------------------- dense tables
+def _check_table_degree(n: int) -> None:
+    if n < 1:
+        raise InvalidParameterError(f"degree must be >= 1, got {n}")
+    if n > MAX_TABLE_DEGREE:
+        raise InvalidParameterError(
+            f"dense per-degree tables are limited to n <= {MAX_TABLE_DEGREE}, got {n}"
+        )
+
+
+@lru_cache(maxsize=None)
+def all_permutations_array(n: int):
+    """All permutations of ``0..n-1`` as an ``(n!, n)`` array in rank order.
+
+    Row ``r`` is the permutation of rank ``r``.  Requires NumPy; raises
+    :class:`InvalidParameterError` when NumPy is unavailable (callers fall
+    back to :func:`all_permutations`).  The returned array is read-only.
+    """
+    _check_table_degree(n)
+    if _np is None:
+        raise InvalidParameterError("all_permutations_array requires NumPy")
+    if n == 1:
+        out = _np.zeros((1, 1), dtype=_np.int8)
+    else:
+        sub = all_permutations_array(n - 1)
+        m = sub.shape[0]
+        out = _np.empty((n * m, n), dtype=_np.int8)
+        for first in range(n):
+            block = out[first * m : (first + 1) * m]
+            block[:, 0] = first
+            tail = sub.copy()
+            tail[tail >= first] += 1
+            block[:, 1:] = tail
+    out.setflags(write=False)
+    return out
+
+
+def ranks_of(rows) -> "list":
+    """Vectorised lexicographic ranks of an ``(m, n)`` batch of permutations.
+
+    Accepts a NumPy array or a sequence of permutation tuples; every row must
+    be a valid permutation (not re-validated -- this is a fast-core helper).
+    Returns a NumPy ``int64`` array when NumPy is available, else a list.
+    """
+    if _np is not None:
+        array = _np.asarray(rows)
+        if array.ndim != 2:
+            raise InvalidParameterError("ranks_of expects a 2-D batch of permutations")
+        m, n = array.shape
+        if n > _MAX_INT64_RANK_DEGREE:
+            # n! no longer fits in int64; compute exactly in Python instead.
+            return [_rank_unchecked(tuple(map(int, row))) for row in array]
+        fact = factorials(n)
+        ranks = _np.zeros(m, dtype=_np.int64)
+        for i in range(n - 1):
+            smaller = (array[:, i + 1 :] < array[:, i : i + 1]).sum(
+                axis=1, dtype=_np.int64
+            )
+            ranks += smaller * fact[n - 1 - i]
+        return ranks
+    return [_rank_unchecked(tuple(row)) for row in rows]
+
+
+@lru_cache(maxsize=None)
+def move_tables(n: int) -> Tuple:
+    """Precomputed generator move tables for the star graph ``S_n``.
+
+    Returns a tuple of ``n - 1`` dense arrays, one per generator ``g_j``
+    (``j = 1 .. n-1``), where entry ``rank`` of table ``j - 1`` is the rank of
+    the node reached from ``rank`` along ``g_j``.  Each table is a fixed-point
+    -free involution of ``0..n!-1`` (generator moves are involutions), which
+    is what makes every generator route a perfect matching.
+
+    NumPy ``int64`` arrays when NumPy is available, ``array.array('q')``
+    otherwise.  Tables are cached per degree and shared by every consumer.
+    """
+    _check_table_degree(n)
+    if n < 2:
+        return ()
+    if _np is not None:
+        perms = all_permutations_array(n)
+        tables = []
+        for j in range(1, n):
+            swapped = perms.copy()
+            swapped[:, 0] = perms[:, j]
+            swapped[:, j] = perms[:, 0]
+            table = ranks_of(swapped)
+            table.setflags(write=False)
+            tables.append(table)
+        return tuple(tables)
+
+    from array import array as _array
+
+    total = factorials(n)[n]
+    tables = [_array("q", bytes(8 * total)) for _ in range(n - 1)]
+    for rank, perm in enumerate(_itertools_permutations(range(n))):
+        values = list(perm)
+        for j in range(1, n):
+            values[0], values[j] = values[j], values[0]
+            tables[j - 1][rank] = _rank_unchecked(values)
+            values[0], values[j] = values[j], values[0]
+    return tuple(tables)

@@ -34,6 +34,7 @@ from repro.simd.trace import RouteStatistics
 from repro.simd.masks import Mask
 from repro.simd.machine import SIMDMachine
 from repro.simd.conflicts import check_unit_route_conflicts, UnitRouteStep
+from repro.simd.plans import UnitRoutePlan, unit_route_plan
 from repro.simd.star_machine import StarMachine
 from repro.simd.mesh_machine import MeshMachine
 from repro.simd.embedded import EmbeddedMeshMachine
@@ -44,6 +45,8 @@ __all__ = [
     "SIMDMachine",
     "check_unit_route_conflicts",
     "UnitRouteStep",
+    "UnitRoutePlan",
+    "unit_route_plan",
     "StarMachine",
     "MeshMachine",
     "EmbeddedMeshMachine",

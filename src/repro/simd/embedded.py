@@ -10,9 +10,13 @@ every star PE hosts exactly one mesh PE), local operations are executed in
 place, and every mesh unit route is replayed as the set of canonical Lemma-2
 paths for that dimension, executed in at most three star unit routes.
 
-Because the star machine's conflict checker runs on every replayed hop,
-executing *any* mesh program on this machine dynamically verifies Lemma 5 --
-a conflict would raise :class:`repro.exceptions.RouteConflictError`.
+Every distinct ``(dimension, delta)`` unit route is compiled once into a
+rank-indexed :class:`~repro.simd.plans.UnitRoutePlan`: the canonical paths are
+built, conflict-checked hop by hop (the dynamic Lemma-5 verification -- a
+conflict would raise :class:`repro.exceptions.RouteConflictError`), and
+converted to dense ``(sender rank, receiver rank)`` steps.  Replaying the
+route is then a handful of integer gathers through the star machine's dense
+register file, shared by every machine of the same degree.
 
 Two ledgers are kept: :attr:`EmbeddedMeshMachine.stats` counts *mesh-level*
 unit routes (what the guest algorithm thinks it spent) and
@@ -25,9 +29,9 @@ from __future__ import annotations
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.embedding.mesh_to_star import MeshToStarEmbedding
-from repro.embedding.paths import unit_route_paths
 from repro.exceptions import InvalidParameterError
 from repro.simd.masks import Mask, MaskSource
+from repro.simd.plans import UnitRoutePlan, unit_route_plan
 from repro.simd.star_machine import StarMachine
 from repro.simd.trace import RouteStatistics
 from repro.topology.base import Node
@@ -60,8 +64,6 @@ class EmbeddedMeshMachine:
         # Vertex map and its inverse, materialised once (both are bijections).
         self._to_star: Dict[Node, Node] = self._embedding.vertex_images()
         self._to_mesh: Dict[Node, Node] = {v: k for k, v in self._to_star.items()}
-        # Paths for every (paper dimension, delta) unit route, built lazily.
-        self._route_cache: Dict[Tuple[int, int], Dict[Node, list]] = {}
 
     # ------------------------------------------------------------ properties
     @property
@@ -172,11 +174,14 @@ class EmbeddedMeshMachine:
         self.apply(destination, lambda value: value, source, where=where)
 
     # ----------------------------------------------------------------- routing
-    def _paths_for(self, paper_dim: int, delta: int) -> Dict[Node, list]:
-        key = (paper_dim, delta)
-        if key not in self._route_cache:
-            self._route_cache[key] = unit_route_paths(self._embedding, paper_dim, delta)
-        return self._route_cache[key]
+    def _plan_for(self, paper_dim: int, delta: int) -> UnitRoutePlan:
+        """The precompiled, conflict-validated replay plan for one unit route.
+
+        Plans are cached per ``(n, dimension, delta)`` at module level
+        (:func:`repro.simd.plans.unit_route_plan`), so every machine of the
+        same degree shares one validation pass per routed dimension.
+        """
+        return unit_route_plan(self._embedding, paper_dim, delta)
 
     def route_dimension(
         self,
@@ -193,6 +198,10 @@ class EmbeddedMeshMachine:
         Parameters mirror :meth:`repro.simd.mesh_machine.MeshMachine.route_dimension`
         (*dim* is the tuple dimension index).  Returns the number of star unit
         routes used (1 or 3), which Theorem 6 bounds by 3.
+
+        The replay executes the cached rank-indexed plan: conflict checking
+        (Lemma 5) happened once when the plan was built, so each call is a
+        sequence of dense gathers through the star machine's register file.
         """
         if delta not in (-1, +1):
             raise InvalidParameterError(f"delta must be +1 or -1, got {delta}")
@@ -201,7 +210,7 @@ class EmbeddedMeshMachine:
                 f"dim must be in [0, {self.mesh.ndim - 1}], got {dim}"
             )
         paper_dim = self.n - 1 - dim
-        mesh_paths = self._paths_for(paper_dim, delta)
+        plan = self._plan_for(paper_dim, delta)
 
         if where is not None:
             mask = Mask.coerce(self.mesh, where) if isinstance(where, Mask) else None
@@ -212,19 +221,17 @@ class EmbeddedMeshMachine:
             else:
                 selected = {self.mesh.validate_node(node) for node in where}
                 active = lambda node: node in selected  # noqa: E731
-            mesh_paths = {src: path for src, path in mesh_paths.items() if active(src)}
+            plan = plan.subset(source for source in plan.sources if active(source))
 
-        star_paths = {
-            self._to_star[src]: path for src, path in mesh_paths.items()
-        }
-        used = self._star_machine.route_paths(
+        used = self._star_machine.execute_plan(
             source_register,
             destination_register,
-            star_paths,
+            plan,
             label=label or f"mesh-dim{dim}{'+' if delta > 0 else '-'}",
         )
         self._mesh_stats.record_route(
-            messages=len(star_paths), label=label or f"dim{dim}{'+' if delta > 0 else '-'}"
+            messages=plan.num_paths,
+            label=label or f"dim{dim}{'+' if delta > 0 else '-'}",
         )
         return used
 

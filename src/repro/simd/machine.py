@@ -14,6 +14,14 @@ A :class:`SIMDMachine` owns
   sequence of synchronous unit routes (this is how a mesh unit route is
   replayed on the star graph).
 
+Register files are stored *densely*: one Python list per register, indexed by
+the node's position in the canonical topology order (`topology.node_index`
+order).  The tuple-keyed mappings of the original implementation survive as a
+thin facade -- :meth:`read_register` still returns ``{node: value}`` and every
+public method still accepts tuple nodes -- but the hot paths
+(:meth:`route_indexed` and :meth:`execute_plan`, used by the topology-specific
+subclasses) move data with integer gathers only.
+
 Subclasses add the topology-specific "move everybody along dimension j"
 helpers (:class:`~repro.simd.star_machine.StarMachine`,
 :class:`~repro.simd.mesh_machine.MeshMachine`).
@@ -21,10 +29,20 @@ helpers (:class:`~repro.simd.star_machine.StarMachine`,
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.exceptions import ProgramError, SimulationError
-from repro.simd.conflicts import UnitRouteStep, check_unit_route_conflicts, paths_to_steps
+from repro.exceptions import ProgramError, RouteConflictError, SimulationError
+from repro.simd.conflicts import UnitRouteStep, check_unit_route_conflicts
 from repro.simd.masks import Mask, MaskSource
 from repro.simd.trace import RouteStatistics
 from repro.topology.base import Node, Topology
@@ -40,8 +58,10 @@ class SIMDMachine:
     def __init__(self, topology: Topology, *, check_conflicts: bool = True):
         self._topology = topology
         self._nodes: List[Node] = list(topology.nodes())
-        self._node_set = set(self._nodes)
-        self._registers: Dict[str, Dict[Node, object]] = {}
+        self._index_of: Dict[Node, int] = {
+            node: index for index, node in enumerate(self._nodes)
+        }
+        self._registers: Dict[str, List[object]] = {}
         self._stats = RouteStatistics()
         self._check_conflicts = check_conflicts
 
@@ -72,11 +92,16 @@ class SIMDMachine:
         return sorted(self._registers)
 
     # -------------------------------------------------------------- registers
-    def _register(self, name: str) -> Dict[Node, object]:
+    def _register(self, name: str) -> List[object]:
         try:
             return self._registers[name]
         except KeyError as exc:
             raise ProgramError(f"register {name!r} is not defined") from exc
+
+    def node_index(self, node: Node) -> int:
+        """Dense PE id of *node* (its position in canonical topology order)."""
+        node = self._topology.validate_node(node)
+        return self._index_of[node]
 
     def define_register(self, name: str, init: RegisterInit = None) -> None:
         """Create (or overwrite) register *name* on every PE.
@@ -86,29 +111,33 @@ class SIMDMachine:
         control-unit broadcast in the ledger).
         """
         if isinstance(init, Mapping):
-            values = {node: init.get(node) for node in self._nodes}
+            values = [init.get(node) for node in self._nodes]
         elif callable(init):
-            values = {node: init(node) for node in self._nodes}
+            values = [init(node) for node in self._nodes]
         else:
-            values = {node: init for node in self._nodes}
+            values = [init] * len(self._nodes)
             self._stats.record_broadcast()
         self._registers[name] = values
 
     def read_register(self, name: str) -> Dict[Node, object]:
         """A copy of register *name* as ``{node: value}``."""
-        return dict(self._register(name))
+        return dict(zip(self._nodes, self._register(name)))
+
+    def register_values(self, name: str) -> List[object]:
+        """A copy of register *name* as a dense list in node-index order."""
+        return list(self._register(name))
 
     def read_value(self, name: str, node: Node) -> object:
         """The value of register *name* at one PE."""
         register = self._register(name)
         node = self._topology.validate_node(node)
-        return register[node]
+        return register[self._index_of[node]]
 
     def write_value(self, name: str, node: Node, value: object) -> None:
         """Overwrite the value of register *name* at one PE (host-side poke)."""
         register = self._register(name)
         node = self._topology.validate_node(node)
-        register[node] = value
+        register[self._index_of[node]] = value
 
     # --------------------------------------------------------------- local ops
     def apply(
@@ -124,18 +153,23 @@ class SIMDMachine:
         The paper's ``A(i) := A(i) + 1, (f(i) = y)`` is
         ``apply("A", lambda a: a + 1, "A", where=predicate)``.
         """
-        mask = Mask.coerce(self._topology, where)
-        dest = self._register(destination) if destination in self._registers else None
-        if dest is None:
+        if destination not in self._registers:
             self.define_register(destination)
-            dest = self._register(destination)
+        dest = self._register(destination)
         source_registers = [self._register(s) for s in sources]
         count = 0
-        for node in self._nodes:
-            if not mask.is_active(node):
-                continue
-            dest[node] = function(*(reg[node] for reg in source_registers))
-            count += 1
+        if where is None:
+            for index in range(len(self._nodes)):
+                dest[index] = function(*(reg[index] for reg in source_registers))
+            count = len(self._nodes)
+        else:
+            mask = Mask.coerce(self._topology, where)
+            is_active = mask.is_active
+            for index, node in enumerate(self._nodes):
+                if not is_active(node):
+                    continue
+                dest[index] = function(*(reg[index] for reg in source_registers))
+                count += 1
         self._stats.record_local(operations=count)
         self._stats.record_broadcast()
 
@@ -171,6 +205,47 @@ class SIMDMachine:
                 )
         if self._check_conflicts:
             check_unit_route_conflicts(UnitRouteStep(moves=tuple(moves)))
+        index_of = self._index_of
+        self.route_indexed(
+            source_register,
+            destination_register,
+            [(index_of[src], index_of[dst]) for src, dst in moves],
+            label=label,
+            check_conflicts=False,  # already checked with node identities above
+        )
+
+    def route_indexed(
+        self,
+        source_register: str,
+        destination_register: str,
+        moves: Sequence[Tuple[int, int]],
+        *,
+        label: str = "route",
+        check_conflicts: Optional[bool] = None,
+    ) -> None:
+        """One unit route given dense ``(sender index, receiver index)`` moves.
+
+        The fast-path twin of :meth:`route_moves`: callers guarantee that every
+        move is a topology link (e.g. it came from a generator move table), so
+        only the cheap integer conflict check runs.  Stats are recorded
+        identically to :meth:`route_moves`.
+        """
+        if check_conflicts is None:
+            check_conflicts = self._check_conflicts
+        if check_conflicts:
+            senders = bytearray(len(self._nodes))
+            receivers = bytearray(len(self._nodes))
+            for src, dst in moves:
+                if senders[src]:
+                    raise RouteConflictError(
+                        f"PE {self._nodes[src]!r} transmits twice in one unit route"
+                    )
+                if receivers[dst]:
+                    raise RouteConflictError(
+                        f"PE {self._nodes[dst]!r} receives twice in one unit route"
+                    )
+                senders[src] = 1
+                receivers[dst] = 1
         source = self._register(source_register)
         if destination_register not in self._registers:
             self.define_register(destination_register)
@@ -206,44 +281,82 @@ class SIMDMachine:
         for source, path in paths.items():
             if not path or path[0] != source:
                 raise SimulationError(f"path for {source!r} must start at the source")
-        steps = paths_to_steps(paths.values())
-        if not steps:
+        num_steps = max((len(path) for path in paths.values()), default=1) - 1
+        if num_steps == 0:
             return 0
+
+        index_of = self._index_of
+        index_paths = [[index_of[node] for node in path] for path in paths.values()]
 
         # Transit values ride in a scratch register so multi-hop forwarding does
         # not clobber the PEs' own source values.
-        self.define_register(scratch_register, self.read_register(source_register))
+        self._registers[scratch_register] = list(self._register(source_register))
         if destination_register not in self._registers:
             self.define_register(destination_register)
 
-        for index, step in enumerate(steps):
-            last = index == len(steps) - 1
-            # Messages whose path ends at this step are written to the real
-            # destination register; others keep riding in the scratch register.
-            arriving = []
-            continuing = []
-            for source, path in paths.items():
-                if index + 1 < len(path):
-                    move = (path[index], path[index + 1])
-                    if index + 2 == len(path):
+        node_paths = list(paths.values())
+        for step in range(num_steps):
+            arriving: List[Tuple[int, int]] = []
+            continuing: List[Tuple[int, int]] = []
+            if self._check_conflicts:
+                moves: List[Tuple[Node, Node]] = []
+                for path in node_paths:
+                    if step + 1 < len(path):
+                        moves.append((path[step], path[step + 1]))
+                check_unit_route_conflicts(UnitRouteStep(moves=tuple(moves)))
+            for path in index_paths:
+                if step + 1 < len(path):
+                    move = (path[step], path[step + 1])
+                    if step + 2 == len(path):
                         arriving.append(move)
                     else:
                         continuing.append(move)
-            all_moves = arriving + continuing
-            if self._check_conflicts:
-                check_unit_route_conflicts(UnitRouteStep(moves=tuple(all_moves)))
             transit = self._register(scratch_register)
             destination = self._register(destination_register)
-            staged = [(dst, transit[src], final) for (src, dst), final in
-                      [(m, True) for m in arriving] + [(m, False) for m in continuing]]
-            for dst, value, final in staged:
-                if final:
-                    destination[dst] = value
-                else:
-                    transit[dst] = value
-            self._stats.record_route(messages=len(all_moves), label=label)
-            del last  # readability only; every step is recorded identically
+            staged_final = [(dst, transit[src]) for src, dst in arriving]
+            staged_transit = [(dst, transit[src]) for src, dst in continuing]
+            for dst, value in staged_final:
+                destination[dst] = value
+            for dst, value in staged_transit:
+                transit[dst] = value
+            self._stats.record_route(
+                messages=len(arriving) + len(continuing), label=label
+            )
         del self._registers[scratch_register]
+        return num_steps
+
+    def execute_plan(
+        self,
+        source_register: str,
+        destination_register: str,
+        plan: "object",
+        *,
+        label: str = "path-route",
+    ) -> int:
+        """Replay a precompiled, already-validated unit-route plan.
+
+        *plan* is a :class:`repro.simd.plans.UnitRoutePlan` (or anything with
+        the same ``steps`` attribute): conflict freedom and link validity were
+        checked once when the plan was built, so the replay is pure integer
+        gathers.  Semantics and ledger entries are identical to
+        :meth:`route_paths` on the same paths.
+        """
+        steps = plan.steps
+        if not steps:
+            return 0
+        source = self._register(source_register)
+        if destination_register not in self._registers:
+            self.define_register(destination_register)
+        destination = self._register(destination_register)
+        transit = list(source)
+        for step in steps:
+            staged_final = [(dst, transit[src]) for src, dst in step.arriving]
+            staged_transit = [(dst, transit[src]) for src, dst in step.continuing]
+            for dst, value in staged_final:
+                destination[dst] = value
+            for dst, value in staged_transit:
+                transit[dst] = value
+            self._stats.record_route(messages=step.num_messages, label=label)
         return len(steps)
 
     # --------------------------------------------------------------- utilities

@@ -27,6 +27,25 @@ class MeshMachine(SIMDMachine):
 
     def __init__(self, sides: Sequence[int], *, check_conflicts: bool = True):
         super().__init__(Mesh(sides), check_conflicts=check_conflicts)
+        # Dense (sender index, receiver index) moves per (dim, delta), built
+        # lazily; a dimension shift is injective so it can never conflict.
+        self._dimension_moves: dict = {}
+
+    def _moves_along(self, dim: int, delta: int) -> list:
+        key = (dim, delta)
+        table = self._dimension_moves.get(key)
+        if table is None:
+            side = self.sides[dim]
+            index_of = self._index_of
+            table = []
+            for index, node in enumerate(self._nodes):
+                value = node[dim] + delta
+                if 0 <= value < side:
+                    destination = list(node)
+                    destination[dim] = value
+                    table.append((index, index_of[tuple(destination)]))
+            self._dimension_moves[key] = table
+        return table
 
     @property
     def mesh(self) -> Mesh:
@@ -61,21 +80,23 @@ class MeshMachine(SIMDMachine):
             raise InvalidParameterError(
                 f"dim must be in [0, {self.mesh.ndim - 1}], got {dim}"
             )
-        mask = Mask.coerce(self.topology, where)
-        moves = []
-        for node in self.nodes:
-            if not mask.is_active(node):
-                continue
-            value = node[dim] + delta
-            if 0 <= value < self.sides[dim]:
-                destination = list(node)
-                destination[dim] = value
-                moves.append((node, tuple(destination)))
-        self.route_moves(
+        table = self._moves_along(dim, delta)
+        if where is None:
+            moves = table
+        else:
+            mask = Mask.coerce(self.topology, where)
+            is_active = mask.is_active
+            nodes = self._nodes
+            moves = [(src, dst) for src, dst in table if is_active(nodes[src])]
+        # Moves come from the precomputed dimension table (links by
+        # construction, injective hence conflict-free), so the generic
+        # validation of route_moves is unnecessary.
+        self.route_indexed(
             source_register,
             destination_register,
             moves,
             label=label or f"dim{dim}{'+' if delta > 0 else '-'}",
+            check_conflicts=False,
         )
 
     def route_paper_dimension(

@@ -1,0 +1,202 @@
+"""Precompiled unit-route plans for the mesh-on-star embedding.
+
+Replaying one mesh unit route on the star machine (Theorem 6) always uses the
+same set of canonical Lemma-2 paths for a given ``(n, dimension, delta)``.
+The original implementation rebuilt tuple-keyed path dictionaries and re-ran
+the conflict checker on every single route; a :class:`UnitRoutePlan` does that
+work exactly once:
+
+* the canonical paths are constructed (:func:`repro.embedding.paths.unit_route_paths`)
+  and conflict-checked hop by hop (the run-time Lemma-5 validation);
+* every star node on every path is converted to its dense Lehmer rank in one
+  vectorised batch (:func:`repro.permutations.ranking.ranks_of`);
+* the per-step ``(sender rank, receiver rank)`` moves are laid out as
+  :class:`PlanStep` tuples ready for :meth:`repro.simd.machine.SIMDMachine.execute_plan`.
+
+Plans for the canonical :class:`~repro.embedding.mesh_to_star.MeshToStarEmbedding`
+are cached per ``(n, dimension, delta)`` at module level and shared by every
+machine of that degree; custom embedding subclasses get per-call builds (they
+may map vertices differently, so their plans cannot be shared by degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
+
+from repro.embedding.paths import unit_route_paths
+from repro.permutations.ranking import ranks_of
+from repro.simd.conflicts import UnitRouteStep, check_unit_route_conflicts
+from repro.topology.base import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+__all__ = ["PlanStep", "UnitRoutePlan", "unit_route_plan", "clear_plan_cache"]
+
+IndexMove = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """The moves of one synchronous unit route, as dense rank pairs.
+
+    ``arriving`` moves deliver into the destination register (the message's
+    final hop); ``continuing`` moves forward through the transit buffer.
+    """
+
+    arriving: Tuple[IndexMove, ...]
+    continuing: Tuple[IndexMove, ...]
+
+    @property
+    def num_messages(self) -> int:
+        """Messages carried by this unit route."""
+        return len(self.arriving) + len(self.continuing)
+
+
+@dataclass(frozen=True)
+class UnitRoutePlan:
+    """A validated, rank-indexed replay plan for one mesh unit route.
+
+    ``sources`` are the participating mesh nodes (those with a neighbour in
+    the routed direction) and ``index_paths[k]`` is the star-rank path the
+    message injected at ``sources[k]`` follows.  ``steps`` is the precompiled
+    per-unit-route move layout consumed by
+    :meth:`repro.simd.machine.SIMDMachine.execute_plan`.
+    """
+
+    n: int
+    dimension: int
+    delta: int
+    sources: Tuple[Node, ...]
+    index_paths: Tuple[Tuple[int, ...], ...]
+    steps: Tuple[PlanStep, ...]
+
+    @property
+    def num_paths(self) -> int:
+        """Number of messages (= participating mesh sources)."""
+        return len(self.sources)
+
+    @property
+    def num_steps(self) -> int:
+        """Star unit routes per replay (1 or 3 for the paper's embedding)."""
+        return len(self.steps)
+
+    def subset(self, active_sources: Iterable[Node]) -> "UnitRoutePlan":
+        """The plan restricted to the given mesh sources (for masked routes).
+
+        A subset of a conflict-free unit route is conflict-free, so no
+        re-validation is needed; the steps are re-laid-out because the longest
+        surviving path may be shorter than the full plan's.
+        """
+        selected = set(active_sources)
+        sources = []
+        index_paths = []
+        for source, path in zip(self.sources, self.index_paths):
+            if source in selected:
+                sources.append(source)
+                index_paths.append(path)
+        return UnitRoutePlan(
+            n=self.n,
+            dimension=self.dimension,
+            delta=self.delta,
+            sources=tuple(sources),
+            index_paths=tuple(index_paths),
+            steps=_steps_from_index_paths(index_paths),
+        )
+
+
+def _steps_from_index_paths(
+    index_paths: Sequence[Sequence[int]],
+) -> Tuple[PlanStep, ...]:
+    num_steps = max((len(path) for path in index_paths), default=1) - 1
+    steps: List[PlanStep] = []
+    for step in range(num_steps):
+        arriving: List[IndexMove] = []
+        continuing: List[IndexMove] = []
+        for path in index_paths:
+            if step + 1 < len(path):
+                move = (path[step], path[step + 1])
+                if step + 2 == len(path):
+                    arriving.append(move)
+                else:
+                    continuing.append(move)
+        steps.append(PlanStep(arriving=tuple(arriving), continuing=tuple(continuing)))
+    return tuple(steps)
+
+
+def build_unit_route_plan(
+    embedding: "MeshToStarEmbedding", dimension: int, delta: int
+) -> UnitRoutePlan:
+    """Construct and validate the replay plan for one mesh unit route.
+
+    The conflict check (Lemma 5) runs here, once per plan, over the same
+    node-level unit-route steps the generic
+    :meth:`~repro.simd.machine.SIMDMachine.route_paths` would have checked on
+    every call.
+    """
+    node_paths: Dict[Node, List[Node]] = unit_route_paths(embedding, dimension, delta)
+    sources = tuple(node_paths)
+    paths = [node_paths[source] for source in sources]
+
+    # One-time Lemma-5 validation on the node-level steps.
+    num_steps = max((len(path) for path in paths), default=1) - 1
+    for step in range(num_steps):
+        moves = [
+            (path[step], path[step + 1]) for path in paths if step + 1 < len(path)
+        ]
+        check_unit_route_conflicts(UnitRouteStep(moves=tuple(moves)))
+
+    # Rank every path node in one vectorised batch.
+    flat_nodes: List[Node] = [node for path in paths for node in path]
+    if flat_nodes:
+        flat_ranks = ranks_of(flat_nodes)
+        flat_ranks = (
+            flat_ranks.tolist() if hasattr(flat_ranks, "tolist") else list(flat_ranks)
+        )
+    else:
+        flat_ranks = []
+    index_paths: List[Tuple[int, ...]] = []
+    cursor = 0
+    for path in paths:
+        index_paths.append(tuple(flat_ranks[cursor : cursor + len(path)]))
+        cursor += len(path)
+
+    return UnitRoutePlan(
+        n=embedding.n,
+        dimension=dimension,
+        delta=delta,
+        sources=sources,
+        index_paths=tuple(index_paths),
+        steps=_steps_from_index_paths(index_paths),
+    )
+
+
+_PLAN_CACHE: Dict[Tuple[int, int, int], UnitRoutePlan] = {}
+
+
+def unit_route_plan(
+    embedding: "MeshToStarEmbedding", dimension: int, delta: int
+) -> UnitRoutePlan:
+    """The cached replay plan for ``(embedding.n, dimension, delta)``.
+
+    Plans are shared across machine instances for the canonical
+    :class:`~repro.embedding.mesh_to_star.MeshToStarEmbedding` (its vertex and
+    edge maps are pure functions of ``n``); other embedding types are built
+    fresh each call, so subclasses with different maps stay correct.
+    """
+    from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+    if type(embedding) is not MeshToStarEmbedding:
+        return build_unit_route_plan(embedding, dimension, delta)
+    key = (embedding.n, dimension, delta)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = build_unit_route_plan(embedding, dimension, delta)
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (used by tests and memory-sensitive callers)."""
+    _PLAN_CACHE.clear()

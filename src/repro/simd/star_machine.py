@@ -8,15 +8,23 @@ Adds the star graph's natural unit routes on top of
 * :meth:`StarMachine.route_paths` (inherited) -- the SIMD-B capability used to
   replay mesh unit routes through the embedding.
 
-Because a generator move is an involution (applying ``g_j`` twice returns to
-the start), a generator route is always a perfect matching of the PEs and can
-never conflict; the conflict checker still runs to keep the invariant honest.
+A generator route is a single gather through the per-degree move table
+(:func:`repro.permutations.ranking.move_tables`): PE ``rank`` sends to PE
+``table[rank]``.  Because a generator move is an involution (applying ``g_j``
+twice returns to the start), the table is a perfect matching of the PEs and a
+generator route can never conflict.  That invariant is not taken on faith:
+each table is validated as a fixed-point-free involution the first time it is
+used (:meth:`StarMachine._generator_table`), which replaces the per-route
+conflict check of the generic path.  Degrees beyond
+:data:`repro.permutations.ranking.MAX_TABLE_DEGREE` fall back to the
+tuple-based generic route, preserving the original behaviour at any ``n``.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.permutations.ranking import MAX_TABLE_DEGREE
 from repro.simd.machine import SIMDMachine
 from repro.simd.masks import Mask, MaskSource
 from repro.topology.star import StarGraph
@@ -31,6 +39,28 @@ class StarMachine(SIMDMachine):
     def __init__(self, n: int, *, check_conflicts: bool = True):
         check_positive_int(n, "n", minimum=2)
         super().__init__(StarGraph(n), check_conflicts=check_conflicts)
+        # Node order is rank order (lexicographic), so the dense register
+        # index of a node IS its Lehmer rank and the move tables apply as-is.
+        self._generator_moves: dict = {}
+
+    def _generator_table(self, generator: int) -> list:
+        """Move table for ``g_generator`` as a plain int list, validated once.
+
+        The validation (the table is a fixed-point-free involution, i.e. a
+        perfect matching) replaces the per-call conflict check of the generic
+        route path: a subset of a perfect matching can never conflict.
+        """
+        table = self._generator_moves.get(generator)
+        if table is None:
+            raw = self.star.move_tables()[generator - 1]
+            table = raw.tolist() if hasattr(raw, "tolist") else list(raw)
+            if any(table[table[index]] != index or table[index] == index
+                   for index in range(len(table))):  # pragma: no cover - structural
+                raise AssertionError(
+                    f"move table for generator {generator} is not a perfect matching"
+                )
+            self._generator_moves[generator] = table
+        return table
 
     @property
     def star(self) -> StarGraph:
@@ -58,14 +88,43 @@ class StarMachine(SIMDMachine):
         stored in *destination_register* at the receiver.
         """
         check_in_range(generator, "generator", 1, self.n - 1)
+        label = label or f"generator-{generator}"
+        if self.n > MAX_TABLE_DEGREE:
+            # No dense tables at this degree: route through the validated
+            # tuple-based generic path, as the pre-fast-core machine did.
+            mask = Mask.coerce(self.topology, where)
+            moves = [
+                (node, self.star.neighbor_along(node, generator))
+                for node in self._nodes
+                if mask.is_active(node)
+            ]
+            self.route_moves(source_register, destination_register, moves, label=label)
+            return
+        table = self._generator_table(generator)
+        if where is None:
+            # Full generator route: the table is an involution, so receiver
+            # `index` hears from sender `table[index]` -- one whole-register
+            # gather, no per-move conflict bookkeeping needed.
+            source = self._register(source_register)
+            if destination_register not in self._registers:
+                self.define_register(destination_register)
+            destination = self._register(destination_register)
+            destination[:] = [source[sender] for sender in table]
+            self._stats.record_route(messages=self.num_pes, label=label)
+            return
         mask = Mask.coerce(self.topology, where)
-        moves = []
-        for node in self.nodes:
-            if mask.is_active(node):
-                moves.append((node, self.star.neighbor_along(node, generator)))
-        self.route_moves(
+        is_active = mask.is_active
+        moves = [
+            (index, table[index])
+            for index, node in enumerate(self._nodes)
+            if is_active(node)
+        ]
+        # Any subset of a perfect matching is conflict-free (validated when the
+        # table was first loaded), so the integer check is skipped.
+        self.route_indexed(
             source_register,
             destination_register,
             moves,
-            label=label or f"generator-{generator}",
+            label=label,
+            check_conflicts=False,
         )

@@ -23,10 +23,15 @@ from typing import Iterator, List, Sequence, Tuple
 from repro.exceptions import InvalidParameterError
 from repro.permutations.generators import apply_star_generator, star_neighbors
 from repro.permutations.permutation import identity_permutation, is_permutation
-from repro.permutations.ranking import all_permutations, permutation_rank, permutation_unrank
+from repro.permutations.ranking import (
+    all_permutations,
+    move_tables,
+    permutation_rank,
+    permutation_unrank,
+)
 from repro.topology.base import Node, Topology
-from repro.topology.routing import star_distance, star_route
-from repro.utils.validation import check_positive_int
+from repro.topology.routing import star_distance, star_distances_from, star_route
+from repro.utils.validation import check_in_range, check_positive_int
 
 __all__ = ["StarGraph"]
 
@@ -108,6 +113,10 @@ class StarGraph(Topology):
     def generator_between(self, u: Node, v: Node) -> int:
         """The generator index ``j`` with ``neighbor_along(u, j) == v``.
 
+        Adjacent nodes differ exactly at tuple positions 0 and ``j`` with the
+        two symbols exchanged, so ``j`` is simply the position in *u* of *v*'s
+        front symbol -- no generator applications needed.
+
         Raises
         ------
         InvalidParameterError
@@ -115,8 +124,12 @@ class StarGraph(Topology):
         """
         u = self.validate_node(u)
         v = self.validate_node(v)
-        for j in range(1, self._n):
-            if apply_star_generator(u, j) == v:
+        if u[0] != v[0]:
+            j = u.index(v[0])
+            if (
+                v[j] == u[0]
+                and all(u[i] == v[i] for i in range(1, self._n) if i != j)
+            ):
                 return j
         raise InvalidParameterError(f"{u!r} and {v!r} are not adjacent in S_{self._n}")
 
@@ -138,6 +151,35 @@ class StarGraph(Topology):
                 f"index must be in [0, {self.num_nodes}), got {index}"
             )
         return permutation_unrank(index, self._n)
+
+    # ------------------------------------------------------------- fast core
+    def move_tables(self) -> Tuple:
+        """The per-degree generator move tables (cached, shared across instances).
+
+        ``move_tables()[j - 1][rank]`` is the rank of
+        ``neighbor_along(node_from_index(rank), j)``; see
+        :func:`repro.permutations.ranking.move_tables`.
+        """
+        return move_tables(self._n)
+
+    def neighbor_ranks(self, index: int, j: int) -> int:
+        """Rank of the neighbour of node *index* along generator ``g_j``."""
+        check_in_range(j, "j", 1, self._n - 1)
+        if not (0 <= index < self.num_nodes):
+            raise InvalidParameterError(
+                f"index must be in [0, {self.num_nodes}), got {index}"
+            )
+        return int(move_tables(self._n)[j - 1][index])
+
+    def distances_from(self, origin: Node):
+        """Distances from *origin* to every node, indexed by rank.
+
+        One vectorised sweep of the cycle-structure closed form over all
+        ``n!`` nodes; entry ``r`` equals ``distance(origin, node_from_index(r))``.
+        Returns a NumPy ``int64`` array when NumPy is available, else a list.
+        """
+        origin = self.validate_node(origin)
+        return star_distances_from(origin)
 
     # ------------------------------------------------------------------ metric
     def distance(self, u: Node, v: Node) -> int:
