@@ -16,6 +16,25 @@ EXPERIMENTS.md.
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "heavy_bench: ablation benchmark too slow for the plain test run; "
+        "executes only under --benchmark-only (benchmarks/run_bench.py)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--benchmark-only"):
+        return
+    skip = pytest.mark.skip(
+        reason="heavy ablation benchmark; run via benchmarks/run_bench.py"
+    )
+    for item in items:
+        if "heavy_bench" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture(scope="session")
 def embedding5():
     """The n = 5 embedding, shared across benchmarks that only read it."""

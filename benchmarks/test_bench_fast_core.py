@@ -159,3 +159,149 @@ def test_plan_compilation(benchmark, n):
 
     plan = benchmark(build)
     assert plan.num_steps in (1, 3)
+
+
+# ======================================================================
+# PR 2 ablations: per-call reference kernels vs compiled route programs.
+# Each pair runs the *same* workload through the retained reference
+# implementation (repro.algorithms.reference) and through the compiled
+# RouteProgram path (the public algorithm functions); registers and
+# ledgers are bit-identical (tests/algorithms/test_program_parity.py),
+# so the pair isolates the replay cost.
+# ======================================================================
+import random
+
+from repro.algorithms import reference as reference_algorithms
+from repro.algorithms.scan import prefix_sum_dimension
+from repro.algorithms.shift import rotate_dimension
+from repro.algorithms.sorting import shearsort_2d
+from repro.embedding.uniform import factorise_paper_mesh
+from repro.simd.mesh_machine import MeshMachine
+from repro.topology.mesh import paper_mesh
+
+
+def _keyed_mesh_machine(sides, seed):
+    machine = MeshMachine(sides)
+    rng = random.Random(seed)
+    machine.define_register(
+        "K", {node: rng.randint(0, 10**6) for node in machine.mesh.nodes()}
+    )
+    return machine
+
+
+def _operator_add(a, b):
+    # Module-level operator so the compiled scan program caches across rounds.
+    return a + b
+
+
+# ------------------------------------------------------------------ shearsort
+@pytest.mark.parametrize("n", [6])
+def test_shearsort_reference(benchmark, n):
+    """Seed implementation: per-call masked routes + per-PE closures."""
+    machine = _keyed_mesh_machine(factorise_paper_mesh(n, 2), seed=n)
+
+    def sort():
+        return reference_algorithms.shearsort_2d(machine, "K")
+
+    benchmark.pedantic(sort, rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("n", [6])
+def test_shearsort_compiled(benchmark, n):
+    """Compiled program: cached masked gathers + vectorised compare-exchange."""
+    machine = _keyed_mesh_machine(factorise_paper_mesh(n, 2), seed=n)
+    shearsort_2d(machine, "K")  # warm the program cache
+
+    def sort():
+        return shearsort_2d(machine, "K")
+
+    benchmark(sort)
+
+
+@pytest.mark.heavy_bench
+@pytest.mark.parametrize("n", [8])
+def test_shearsort_round_reference(benchmark, n):
+    """Seed implementation, one shearsort round at degree 8 (40320 keys)."""
+    machine = _keyed_mesh_machine(factorise_paper_mesh(n, 2), seed=n)
+
+    def sort():
+        return reference_algorithms.shearsort_2d(machine, "K", rounds=1)
+
+    benchmark.pedantic(sort, rounds=1, iterations=1)
+
+
+@pytest.mark.heavy_bench
+@pytest.mark.parametrize("n", [8])
+def test_shearsort_round_compiled(benchmark, n):
+    """Compiled program, one shearsort round at degree 8 (numeric engine)."""
+    machine = _keyed_mesh_machine(factorise_paper_mesh(n, 2), seed=n)
+    shearsort_2d(machine, "K", rounds=1)  # warm the program cache
+
+    def sort():
+        return shearsort_2d(machine, "K", rounds=1)
+
+    benchmark.pedantic(sort, rounds=2, iterations=1)
+
+
+@pytest.mark.heavy_bench
+@pytest.mark.parametrize("n", [8])
+def test_shearsort_full_compiled(benchmark, n):
+    """Compiled program, the full degree-8 shearsort (no reference twin: the
+    seed implementation needs ~10 minutes for this workload)."""
+    machine = _keyed_mesh_machine(factorise_paper_mesh(n, 2), seed=n)
+    shearsort_2d(machine, "K")
+
+    def sort():
+        return shearsort_2d(machine, "K")
+
+    benchmark.pedantic(sort, rounds=1, iterations=1)
+
+
+# ------------------------------------------------------------------- rotation
+@pytest.mark.parametrize("n", [8])
+def test_rotate_reference(benchmark, n):
+    """Seed implementation: the carry chain re-coerces a mask per hop."""
+    machine = _keyed_mesh_machine(paper_mesh(n).sides, seed=n)
+
+    def rotate():
+        return reference_algorithms.rotate_dimension(machine, "K", dim=0, steps=1)
+
+    benchmark.pedantic(rotate, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n", [8])
+def test_rotate_compiled(benchmark, n):
+    """Compiled program: the carry chain is one fused gather."""
+    machine = _keyed_mesh_machine(paper_mesh(n).sides, seed=n)
+    rotate_dimension(machine, "K", dim=0, steps=1)
+
+    def rotate():
+        return rotate_dimension(machine, "K", dim=0, steps=1)
+
+    benchmark(rotate)
+
+
+# ----------------------------------------------------------------------- scan
+@pytest.mark.parametrize("n", [8])
+def test_scan_reference(benchmark, n):
+    """Seed implementation: coordinate-masked routes + per-PE fold closures."""
+    machine = _keyed_mesh_machine(paper_mesh(n).sides, seed=n)
+
+    def scan():
+        return reference_algorithms.prefix_sum_dimension(
+            machine, "K", _operator_add, dim=0
+        )
+
+    benchmark.pedantic(scan, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("n", [8])
+def test_scan_compiled(benchmark, n):
+    """Compiled program: precompiled masked gathers, sentinel-guarded folds."""
+    machine = _keyed_mesh_machine(paper_mesh(n).sides, seed=n)
+    prefix_sum_dimension(machine, "K", _operator_add, dim=0)
+
+    def scan():
+        return prefix_sum_dimension(machine, "K", _operator_add, dim=0)
+
+    benchmark(scan)

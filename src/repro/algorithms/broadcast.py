@@ -6,6 +6,11 @@ Two broadcast algorithms are provided:
   machine (one full sweep per dimension and direction), the primitive used by
   NASS81-style data-movement operations.  Its unit-route count is at most
   ``2 * sum(side - 1)``; run through the embedding it demonstrates Theorem 6.
+  On :class:`~repro.simd.mesh_machine.MeshMachine` and
+  :class:`~repro.simd.embedded.EmbeddedMeshMachine` the sweep compiles into a
+  cached :class:`~repro.simd.programs.RouteProgram` (bit-identical registers
+  and ledgers vs. the per-call reference in
+  :mod:`repro.algorithms.reference`).
 * :func:`star_broadcast_greedy` -- an SIMD-B broadcast directly on the star
   graph: in every unit route each informed PE forwards the value to one
   not-yet-informed neighbour (a greedy maximal matching from informed to
@@ -18,9 +23,12 @@ Two broadcast algorithms are provided:
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional
 
+from repro.algorithms import reference as _reference
 from repro.exceptions import InvalidParameterError
+from repro.simd import kernels as _kernels
+from repro.simd.programs import Local, Route, compile_program, supports_programs
 from repro.simd.star_machine import StarMachine
 from repro.topology.base import Node
 
@@ -30,7 +38,9 @@ __all__ = [
     "star_broadcast_bound",
 ]
 
-_MISSING = object()
+# Shared with the reference module so both implementations agree on the
+# "not yet informed" marker.
+_MISSING = _reference._MISSING
 
 
 def mesh_broadcast(machine, source_node: Node, register: str, *, result: Optional[str] = None) -> int:
@@ -46,10 +56,11 @@ def mesh_broadcast(machine, source_node: Node, register: str, *, result: Optiona
     processed dimensions holds the value; each sweep forwards the value
     ``side - 1`` times in each direction.
     """
+    if not supports_programs(machine):
+        return _reference.mesh_broadcast(machine, source_node, register, result=result)
     mesh = machine.mesh
     source_node = mesh.validate_node(source_node)
     result = result or f"{register}_bcast"
-    routes_before = machine.stats.unit_routes
 
     # Start with the value only at the source; the staging register must also
     # be pre-filled with the sentinel so PEs that receive nothing in a given
@@ -58,21 +69,26 @@ def mesh_broadcast(machine, source_node: Node, register: str, *, result: Optiona
     machine.define_register("_incoming", {node: _MISSING for node in mesh.nodes()})
     machine.write_value(result, source_node, machine.read_value(register, source_node))
 
-    def adopt(current, incoming):
-        if current is _MISSING and incoming is not _MISSING:
-            return incoming
-        return current
-
+    adopt = _kernels.adopt_if_missing(_MISSING)
+    clear = _kernels.const(_MISSING)
+    steps: List[object] = []
     for dim in range(mesh.ndim):
         side = mesh.sides[dim]
         for delta in (+1, -1):
             for _ in range(side - 1):
-                machine.route_dimension(result, "_incoming", dim, delta)
-                # A PE adopts the incoming value only if it has none yet.
-                machine.apply(result, adopt, result, "_incoming")
-                # Clear the staging register so stale values never leak into
-                # the next unit route.
-                machine.apply("_incoming", lambda _current: _MISSING, "_incoming")
+                steps.extend(
+                    [
+                        Route(result, "_incoming", dim, delta),
+                        # A PE adopts the incoming value only if it has none
+                        # yet; then the staging register is cleared so stale
+                        # values never leak into the next unit route.
+                        Local(result, adopt, (result, "_incoming")),
+                        Local("_incoming", clear, ("_incoming",)),
+                    ]
+                )
+    program = compile_program(machine, steps)
+    routes_before = machine.stats.unit_routes
+    program.run(machine)
     return machine.stats.unit_routes - routes_before
 
 

@@ -8,15 +8,37 @@ matching the linear-array lower bound for a non-wraparound mesh line.
 :func:`segmented_totals` leaves every line's total on every PE of the line (a
 line-local allreduce), which is the building block higher-dimensional scans
 and the shearsort row phase use.
+
+On :class:`~repro.simd.mesh_machine.MeshMachine` and
+:class:`~repro.simd.embedded.EmbeddedMeshMachine` the sweep compiles into a
+cached :class:`~repro.simd.programs.RouteProgram` (coordinate-masked routes
+as precomputed gathers, the operator folds as sentinel-guarded kernels);
+registers and ledgers stay bit-identical to the per-call reference
+(:mod:`repro.algorithms.reference`).  Programs are cached per operator
+object: pass a module-level function (e.g. ``operator.add``) rather than a
+fresh lambda to get cache hits across calls.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
+
+from repro.algorithms import reference as _reference
+from repro.exceptions import InvalidParameterError
+from repro.simd import kernels as _kernels
+from repro.simd.programs import (
+    Fill,
+    Local,
+    Route,
+    compile_program,
+    supports_programs,
+)
 
 __all__ = ["prefix_sum_dimension", "segmented_totals"]
 
-_EMPTY = object()
+# Shared with the reference module so sentinel-guarded folds agree when a
+# compiled phase and a reference phase touch the same staging registers.
+_EMPTY = _reference._EMPTY
 
 
 def prefix_sum_dimension(
@@ -33,27 +55,35 @@ def prefix_sum_dimension(
     ``x`` holds ``A[x with dim-coordinate 0] op ... op A[x]``.  Returns the
     number of mesh unit routes issued (``side - 1``).
     """
-    mesh = machine.mesh
-    side = mesh.sides[dim]
+    if not supports_programs(machine):
+        return _reference.prefix_sum_dimension(
+            machine, register, operator, dim, result=result
+        )
+    if not (0 <= dim < machine.mesh.ndim):
+        raise InvalidParameterError(
+            f"dim must be in [0, {machine.mesh.ndim - 1}], got {dim}"
+        )
+    side = machine.mesh.sides[dim]
     result = result or f"{register}_scan"
-    routes_before = machine.stats.unit_routes
-
-    machine.copy_register(register, result)
-    machine.define_register("_scan_in", _EMPTY)
-
-    def fold(current, incoming):
-        if incoming is _EMPTY:
-            return current
-        return operator(incoming, current)
-
+    fold = _kernels.fold(operator, _EMPTY, incoming_first=True)
+    clear = _kernels.const(_EMPTY)
+    steps: List[object] = [
+        Local(result, _kernels.COPY, (register,)),
+        Fill("_scan_in", _EMPTY),
+    ]
     # Step s propagates the running prefix from coordinate s-1 to coordinate s:
     # after step s, every node with dim-coordinate <= s holds its full prefix.
     for step in range(1, side):
-        sender = lambda node, d=dim, s=step: node[d] == s - 1  # noqa: E731
-        receiver = lambda node, d=dim, s=step: node[d] == s  # noqa: E731
-        machine.route_dimension(result, "_scan_in", dim, +1, where=sender)
-        machine.apply(result, fold, result, "_scan_in", where=receiver)
-        machine.apply("_scan_in", lambda _v: _EMPTY, "_scan_in")
+        steps.extend(
+            [
+                Route(result, "_scan_in", dim, +1, ("eq", dim, step - 1)),
+                Local(result, fold, (result, "_scan_in"), ("eq", dim, step)),
+                Local("_scan_in", clear, ("_scan_in",)),
+            ]
+        )
+    program = compile_program(machine, steps)
+    routes_before = machine.stats.unit_routes
+    program.run(machine)
     return machine.stats.unit_routes - routes_before
 
 
@@ -71,22 +101,32 @@ def segmented_totals(
     the line total (held by the last PE of the line) back to every PE.
     Returns the number of mesh unit routes issued (``2 * (side - 1)``).
     """
-    mesh = machine.mesh
-    side = mesh.sides[dim]
+    if not supports_programs(machine):
+        return _reference.segmented_totals(
+            machine, register, operator, dim, result=result
+        )
+    if not (0 <= dim < machine.mesh.ndim):
+        raise InvalidParameterError(
+            f"dim must be in [0, {machine.mesh.ndim - 1}], got {dim}"
+        )
+    side = machine.mesh.sides[dim]
     result = result or f"{register}_total"
     routes_before = machine.stats.unit_routes
 
     prefix_sum_dimension(machine, register, operator, dim, result=result)
-    machine.define_register("_total_in", _EMPTY)
 
-    def adopt(current, incoming):
-        return current if incoming is _EMPTY else incoming
-
+    adopt = _kernels.adopt(_EMPTY)
+    clear = _kernels.const(_EMPTY)
+    steps: List[object] = [Fill("_total_in", _EMPTY)]
     # The last PE of each line now holds the total; sweep it back toward 0.
     for step in range(side - 1, 0, -1):
-        sender = lambda node, d=dim, s=step: node[d] == s  # noqa: E731
-        receiver = lambda node, d=dim, s=step: node[d] == s - 1  # noqa: E731
-        machine.route_dimension(result, "_total_in", dim, -1, where=sender)
-        machine.apply(result, adopt, result, "_total_in", where=receiver)
-        machine.apply("_total_in", lambda _v: _EMPTY, "_total_in")
+        steps.extend(
+            [
+                Route(result, "_total_in", dim, -1, ("eq", dim, step)),
+                Local(result, adopt, (result, "_total_in"), ("eq", dim, step - 1)),
+                Local("_total_in", clear, ("_total_in",)),
+            ]
+        )
+    program = compile_program(machine, steps)
+    program.run(machine)
     return machine.stats.unit_routes - routes_before

@@ -8,13 +8,42 @@ logically even though the mesh has no wraparound links: the wrap-around
 messages travel back across the whole line, costing ``side - 1`` additional
 unit routes per step in the worst case (this is the standard way end-around
 communication is realised on open meshes).
+
+Compiled programs
+-----------------
+On :class:`~repro.simd.mesh_machine.MeshMachine` and
+:class:`~repro.simd.embedded.EmbeddedMeshMachine` both kernels compile once
+per ``(geometry, dim, delta, steps)`` into a cached
+:class:`~repro.simd.programs.RouteProgram`:
+
+* the ``k``-step shift collapses to a single precomputed gather plus a
+  boundary fill (:class:`~repro.simd.programs.ShiftSteps`) instead of
+  redefining the staging register and copying the whole register file every
+  step;
+* the rotation's carry chain -- ``side - 1`` coordinate-masked routes of the
+  same shape -- fuses into one gather with one batched ledger update
+  (:class:`~repro.simd.programs.Chain`).
+
+Ledgers (mesh- and star-level) and registers stay bit-identical to the
+per-call reference (:mod:`repro.algorithms.reference`).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
+from repro.algorithms import reference as _reference
 from repro.exceptions import InvalidParameterError
+from repro.simd import kernels as _kernels
+from repro.simd.programs import (
+    Chain,
+    Fill,
+    Local,
+    Route,
+    ShiftSteps,
+    compile_program,
+    supports_programs,
+)
 
 __all__ = ["shift_dimension", "rotate_dimension"]
 
@@ -40,17 +69,21 @@ def shift_dimension(
         raise InvalidParameterError(f"steps must be >= 0, got {steps}")
     if delta not in (-1, +1):
         raise InvalidParameterError(f"delta must be +1 or -1, got {delta}")
-    mesh = machine.mesh
+    if not supports_programs(machine):
+        return _reference.shift_dimension(
+            machine, register, dim, delta, steps, fill=fill, result=result
+        )
+    if not (0 <= dim < machine.mesh.ndim):
+        raise InvalidParameterError(
+            f"dim must be in [0, {machine.mesh.ndim - 1}], got {dim}"
+        )
     result = result or f"{register}_shift"
+    program = compile_program(
+        machine,
+        [ShiftSteps(register, result, "_shift_in", dim, delta, steps, fill)],
+    )
     routes_before = machine.stats.unit_routes
-
-    machine.copy_register(register, result)
-    for _ in range(steps):
-        machine.define_register("_shift_in", fill)
-        machine.route_dimension(result, "_shift_in", dim, delta)
-        # Every PE replaces its value with what it received; PEs at the
-        # upstream boundary received nothing and take the fill value.
-        machine.copy_register("_shift_in", result)
+    program.run(machine)
     return machine.stats.unit_routes - routes_before
 
 
@@ -71,30 +104,31 @@ def rotate_dimension(
     """
     if steps < 0:
         raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+    if not supports_programs(machine):
+        return _reference.rotate_dimension(machine, register, dim, steps, result=result)
     mesh = machine.mesh
+    if not (0 <= dim < mesh.ndim):
+        raise InvalidParameterError(f"dim must be in [0, {mesh.ndim - 1}], got {dim}")
     side = mesh.sides[dim]
     result = result or f"{register}_rot"
-    routes_before = machine.stats.unit_routes
-
-    machine.copy_register(register, result)
+    program_steps: List[object] = [Local(result, _kernels.COPY, (register,))]
     for _ in range(steps):
-        # 1. Save the values at the far boundary (they will wrap around).
-        machine.copy_register(result, "_wrap")
-        # 2. Ordinary shift by one in the + direction.
-        machine.define_register("_rot_in", None)
-        machine.route_dimension(result, "_rot_in", dim, +1)
-        machine.copy_register("_rot_in", result)
-        # 3. Carry the saved boundary value back to coordinate 0, one hop at a
-        #    time (only the boundary line participates, masked by coordinate).
-        for position in range(side - 1, 0, -1):
-            sender = lambda node, d=dim, p=position: node[d] == p  # noqa: E731
-            machine.route_dimension("_wrap", "_wrap", dim, -1, where=sender)
-        # 4. The wrapped value lands at coordinate 0.
-        machine.apply(
-            result,
-            lambda _cur, wrapped: wrapped,
-            result,
-            "_wrap",
-            where=lambda node, d=dim: node[d] == 0,
+        program_steps.extend(
+            [
+                # 1. Save the values at the far boundary (they will wrap).
+                Local("_wrap", _kernels.COPY, (result,)),
+                # 2. Ordinary shift by one in the + direction.
+                Fill("_rot_in", None),
+                Route(result, "_rot_in", dim, +1),
+                Local(result, _kernels.COPY, ("_rot_in",)),
+                # 3. Carry the boundary value back to coordinate 0 (fused
+                #    chain of side - 1 coordinate-masked routes).
+                Chain("_wrap", dim, -1, tuple(range(side - 1, 0, -1))),
+                # 4. The wrapped value lands at coordinate 0.
+                Local(result, _kernels.REPLACE, (result, "_wrap"), ("eq", dim, 0)),
+            ]
         )
+    program = compile_program(machine, program_steps)
+    routes_before = machine.stats.unit_routes
+    program.run(machine)
     return machine.stats.unit_routes - routes_before

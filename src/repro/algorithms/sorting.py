@@ -17,14 +17,36 @@ This module provides the concrete kernels the experiments measure:
 All kernels run unchanged on :class:`~repro.simd.mesh_machine.MeshMachine`
 and :class:`~repro.simd.embedded.EmbeddedMeshMachine`; comparing their unit
 route ledgers is the sorting experiment of EXPERIMENTS.md.
+
+Compiled programs
+-----------------
+On the two machine types above, the whole sort compiles into one cached
+:class:`~repro.simd.programs.RouteProgram` (masked routes as precomputed
+gathers, compare-exchange as vectorised min/max kernels); registers and both
+ledgers stay bit-identical to the per-call reference implementation
+(:mod:`repro.algorithms.reference`, enforced by the parity tests).
+*ascending_mask* may be a mask **spec** (e.g. ``("parity", 0, 0)``), a keyed
+:class:`~repro.simd.masks.Mask`, or -- as before -- an arbitrary predicate,
+in which case the reference path runs instead (opaque closures cannot key a
+program cache).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
+from repro.algorithms import reference as _reference
 from repro.exceptions import InvalidParameterError
+from repro.simd import kernels as _kernels
+from repro.simd.masks import MASK_ALL, Mask, spec_and, spec_not
+from repro.simd.programs import (
+    Fill,
+    Local,
+    Route,
+    compile_program,
+    supports_programs,
+)
 
 __all__ = [
     "odd_even_transposition_sort",
@@ -32,6 +54,13 @@ __all__ = [
     "sort_lines",
     "snake_order_rank",
 ]
+
+# Stable boundary sentinel for the compiled compare-exchange staging register
+# (the reference implementation creates a fresh one per phase; the identity of
+# the sentinel is unobservable outside the scratch register).
+_BOUNDARY = object()
+_KEEP_MIN = _kernels.keep_min(_BOUNDARY)
+_KEEP_MAX = _kernels.keep_max(_BOUNDARY)
 
 
 def snake_order_rank(node: Sequence[int], sides: Sequence[int]) -> int:
@@ -51,70 +80,45 @@ def snake_order_rank(node: Sequence[int], sides: Sequence[int]) -> int:
     return row * cols + (col if row % 2 == 0 else cols - 1 - col)
 
 
-def _compare_exchange_phase(
-    machine,
-    register: str,
-    dim: int,
-    parity: int,
-    *,
-    ascending_mask=None,
-) -> None:
-    """One odd-even transposition phase along *dim*.
-
-    PEs whose coordinate along *dim* is even (phase parity 0) or odd (parity
-    1) are the *low* ends of the compared pairs.  Each pair exchanges values
-    (two unit routes) and then the low PE keeps the minimum and the high PE
-    the maximum -- unless *ascending_mask* marks the pair's line as
-    descending, in which case the roles are swapped (needed by shearsort's
-    snake-ordered row phase).
-    """
-    mesh = machine.mesh
-    side = mesh.sides[dim]
-
-    def is_low(node) -> bool:
-        coord = node[dim]
-        return coord % 2 == parity and coord + 1 < side
-
-    def is_high(node) -> bool:
-        coord = node[dim]
-        return coord % 2 == 1 - parity and coord > 0
-
-    sentinel = object()
-    machine.define_register("_cmp_in", sentinel)
-    # Low PEs send their value up; high PEs send theirs down.
-    machine.route_dimension(register, "_cmp_in", dim, +1, where=is_low)
-    machine.route_dimension(register, "_cmp_in", dim, -1, where=is_high)
-
+def _ascending_spec(ascending_mask):
+    """Mask spec of *ascending_mask*, or None when it is an opaque predicate."""
     if ascending_mask is None:
-        ascending_mask = lambda node: True  # noqa: E731
+        return MASK_ALL
+    if isinstance(ascending_mask, Mask):
+        return ascending_mask.key
+    if isinstance(ascending_mask, tuple):
+        return ascending_mask
+    return None
 
-    def resolve(node_role_low: bool):
-        def inner(current, incoming):
-            if incoming is sentinel:
-                return current
-            low, high = (current, incoming) if current <= incoming else (incoming, current)
-            return low if node_role_low else high
-        return inner
 
-    keep_small = resolve(True)
-    keep_large = resolve(False)
+def _compare_exchange_steps(
+    register: str, dim: int, side: int, parity: int, ascending: tuple
+) -> List[object]:
+    """The seven program steps of one odd-even transposition phase."""
+    low = spec_and(("parity", dim, parity), ("lt", dim, side - 1))
+    high = spec_and(("parity", dim, 1 - parity), ("gt", dim, 0))
+    descending = spec_not(ascending)
+    pair = (register, "_cmp_in")
+    return [
+        Fill("_cmp_in", _BOUNDARY),
+        Route(register, "_cmp_in", dim, +1, low),
+        Route(register, "_cmp_in", dim, -1, high),
+        Local(register, _KEEP_MIN, pair, spec_and(low, ascending)),
+        Local(register, _KEEP_MAX, pair, spec_and(high, ascending)),
+        Local(register, _KEEP_MAX, pair, spec_and(low, descending)),
+        Local(register, _KEEP_MIN, pair, spec_and(high, descending)),
+    ]
 
-    def low_rule(node) -> bool:
-        return is_low(node) and ascending_mask(node)
 
-    def low_rule_desc(node) -> bool:
-        return is_low(node) and not ascending_mask(node)
-
-    def high_rule(node) -> bool:
-        return is_high(node) and ascending_mask(node)
-
-    def high_rule_desc(node) -> bool:
-        return is_high(node) and not ascending_mask(node)
-
-    machine.apply(register, keep_small, register, "_cmp_in", where=low_rule)
-    machine.apply(register, keep_large, register, "_cmp_in", where=high_rule)
-    machine.apply(register, keep_large, register, "_cmp_in", where=low_rule_desc)
-    machine.apply(register, keep_small, register, "_cmp_in", where=high_rule_desc)
+def _sort_steps(
+    register: str, dim: int, side: int, phases: int, ascending: tuple
+) -> List[object]:
+    steps: List[object] = []
+    for phase in range(phases):
+        steps.extend(
+            _compare_exchange_steps(register, dim, side, phase % 2, ascending)
+        )
+    return steps
 
 
 def odd_even_transposition_sort(
@@ -128,19 +132,28 @@ def odd_even_transposition_sort(
     """Sort every line of the mesh along *dim* by odd-even transposition.
 
     Each of the ``side`` phases costs two unit routes (the pairwise exchange),
-    so the total is ``2 * side`` mesh unit routes.  *ascending_mask* is a
-    predicate on nodes selecting lines sorted in ascending coordinate order
-    (default: all); other lines are sorted descending -- shearsort uses this
-    for its snake-ordered row phase.  Returns the number of unit routes.
+    so the total is ``2 * side`` mesh unit routes.  *ascending_mask* selects
+    lines sorted in ascending coordinate order (default: all); other lines
+    are sorted descending -- shearsort uses this for its snake-ordered row
+    phase.  It may be a mask spec / keyed mask (compiled) or any predicate
+    (reference path).  Returns the number of unit routes.
     """
-    mesh = machine.mesh
-    side = mesh.sides[dim]
-    total_phases = phases if phases is not None else side
-    routes_before = machine.stats.unit_routes
-    for phase in range(total_phases):
-        _compare_exchange_phase(
-            machine, register, dim, phase % 2, ascending_mask=ascending_mask
+    ascending = _ascending_spec(ascending_mask)
+    if not supports_programs(machine) or ascending is None:
+        return _reference.odd_even_transposition_sort(
+            machine, register, dim, ascending_mask=ascending_mask, phases=phases
         )
+    if not (0 <= dim < machine.mesh.ndim):
+        raise InvalidParameterError(
+            f"dim must be in [0, {machine.mesh.ndim - 1}], got {dim}"
+        )
+    side = machine.mesh.sides[dim]
+    total_phases = phases if phases is not None else side
+    program = compile_program(
+        machine, _sort_steps(register, dim, side, total_phases, ascending)
+    )
+    routes_before = machine.stats.unit_routes
+    program.run(machine)
     return machine.stats.unit_routes - routes_before
 
 
@@ -149,7 +162,7 @@ def sort_lines(machine, register: str, dim: int) -> int:
     return odd_even_transposition_sort(machine, register, dim)
 
 
-def shearsort_2d(machine, register: str) -> int:
+def shearsort_2d(machine, register: str, *, rounds: Optional[int] = None) -> int:
     """Shearsort a two-dimensional mesh machine into snake order.
 
     Alternates snake-ordered row sorts (even rows ascending, odd rows
@@ -158,24 +171,31 @@ def shearsort_2d(machine, register: str) -> int:
     After the call, reading *register* in :func:`snake_order_rank` order gives
     the values in non-decreasing order.  Returns the number of mesh unit
     routes issued.
+
+    *rounds* overrides the round count (used by convergence studies and the
+    ablation benchmarks); the default sorts completely.
     """
     mesh = machine.mesh
     if mesh.ndim != 2:
         raise InvalidParameterError(
             f"shearsort_2d needs a 2-dimensional mesh, got {mesh.ndim} dimensions"
         )
-    rows, _cols = mesh.sides
-    routes_before = machine.stats.unit_routes
-
-    def even_row(node) -> bool:
-        return node[0] % 2 == 0
-
-    rounds = max(1, math.ceil(math.log2(rows))) if rows > 1 else 1
-    for _ in range(rounds):
+    if not supports_programs(machine):
+        return _reference.shearsort_2d(machine, register, rounds=rounds)
+    rows, cols = mesh.sides
+    even_row = ("parity", 0, 0)
+    total = rounds
+    if total is None:
+        total = max(1, math.ceil(math.log2(rows))) if rows > 1 else 1
+    steps: List[object] = []
+    for _ in range(total):
         # Row phase: sort along the column dimension, snake-ordered.
-        odd_even_transposition_sort(machine, register, dim=1, ascending_mask=even_row)
+        steps.extend(_sort_steps(register, 1, cols, cols, even_row))
         # Column phase: sort along the row dimension, always ascending.
-        odd_even_transposition_sort(machine, register, dim=0)
+        steps.extend(_sort_steps(register, 0, rows, rows, MASK_ALL))
     # Final row phase leaves the data in snake order.
-    odd_even_transposition_sort(machine, register, dim=1, ascending_mask=even_row)
+    steps.extend(_sort_steps(register, 1, cols, cols, even_row))
+    program = compile_program(machine, steps)
+    routes_before = machine.stats.unit_routes
+    program.run(machine)
     return machine.stats.unit_routes - routes_before

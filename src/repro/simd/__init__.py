@@ -34,10 +34,21 @@ from repro.simd.trace import RouteStatistics
 from repro.simd.masks import Mask
 from repro.simd.machine import SIMDMachine
 from repro.simd.conflicts import check_unit_route_conflicts, UnitRouteStep
-from repro.simd.plans import UnitRoutePlan, unit_route_plan
+from repro.simd.plans import UnitRoutePlan, unit_route_plan, unit_route_plan_subset
 from repro.simd.star_machine import StarMachine
 from repro.simd.mesh_machine import MeshMachine
 from repro.simd.embedded import EmbeddedMeshMachine
+from repro.simd.kernels import Kernel
+from repro.simd.programs import (
+    Chain,
+    Fill,
+    Local,
+    Route,
+    RouteProgram,
+    ShiftSteps,
+    compile_program,
+    supports_programs,
+)
 
 __all__ = [
     "RouteStatistics",

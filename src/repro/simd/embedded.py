@@ -30,8 +30,9 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.embedding.mesh_to_star import MeshToStarEmbedding
 from repro.exceptions import InvalidParameterError
+from repro.simd.kernels import Kernel
 from repro.simd.masks import Mask, MaskSource
-from repro.simd.plans import UnitRoutePlan, unit_route_plan
+from repro.simd.plans import UnitRoutePlan, unit_route_plan, unit_route_plan_subset
 from repro.simd.star_machine import StarMachine
 from repro.simd.trace import RouteStatistics
 from repro.topology.base import Node
@@ -64,6 +65,8 @@ class EmbeddedMeshMachine:
         # Vertex map and its inverse, materialised once (both are bijections).
         self._to_star: Dict[Node, Node] = self._embedding.vertex_images()
         self._to_mesh: Dict[Node, Node] = {v: k for k, v in self._to_star.items()}
+        self._star_index_of_mesh_index: Optional[list] = None
+        self._mask_translations: Dict[tuple, Mask] = {}
 
     # ------------------------------------------------------------ properties
     @property
@@ -145,8 +148,43 @@ class EmbeddedMeshMachine:
         return self._star_machine.register_names
 
     # --------------------------------------------------------------- local ops
+    def mesh_to_star_indices(self) -> list:
+        """Dense star rank hosting each mesh PE, in canonical mesh node order.
+
+        The permutation conjugating mesh-indexed data to the star machine's
+        rank-indexed register file; computed once per machine and shared with
+        the compiled route programs (:mod:`repro.simd.programs`).
+        """
+        if self._star_index_of_mesh_index is None:
+            from repro.permutations.ranking import ranks_of
+
+            images = [self._to_star[node] for node in self.mesh.nodes()]
+            ranks = ranks_of(images)
+            self._star_index_of_mesh_index = (
+                ranks.tolist() if hasattr(ranks, "tolist") else list(ranks)
+            )
+        return self._star_index_of_mesh_index
+
     def _translate_mask(self, where: MaskSource) -> MaskSource:
-        if where is None or isinstance(where, Mask):
+        if where is None:
+            return None
+        if isinstance(where, Mask):
+            if where.topology == self.mesh:
+                # Conjugate the mesh-level mask onto the star PEs hosting the
+                # active mesh PEs (cached per spec key for named masks).
+                key = where.key
+                if key is not None:
+                    cached = self._mask_translations.get(key)
+                    if cached is not None:
+                        return cached
+                mesh_flags = where.dense_flags()
+                star_flags = [False] * len(mesh_flags)
+                for mesh_index, star_index in enumerate(self.mesh_to_star_indices()):
+                    star_flags[star_index] = mesh_flags[mesh_index]
+                star_mask = Mask.from_flags(self._star_machine.topology, star_flags)
+                if key is not None:
+                    self._mask_translations[key] = star_mask
+                return star_mask
             return where
         if callable(where):
             return lambda star_node: where(self._to_mesh[star_node])
@@ -164,6 +202,22 @@ class EmbeddedMeshMachine:
         before = self._star_machine.stats.local_operations
         self._star_machine.apply(
             destination, function, *sources, where=self._translate_mask(where)
+        )
+        executed = self._star_machine.stats.local_operations - before
+        self._mesh_stats.record_local(operations=executed)
+        self._mesh_stats.record_broadcast()
+
+    def apply_kernel(
+        self,
+        destination: str,
+        kernel: Kernel,
+        *sources: str,
+        where: MaskSource = None,
+    ) -> None:
+        """Masked elementwise operation through a named kernel (see :meth:`SIMDMachine.apply_kernel`)."""
+        before = self._star_machine.stats.local_operations
+        self._star_machine.apply_kernel(
+            destination, kernel, *sources, where=self._translate_mask(where)
         )
         executed = self._star_machine.stats.local_operations - before
         self._mesh_stats.record_local(operations=executed)
@@ -213,15 +267,24 @@ class EmbeddedMeshMachine:
         plan = self._plan_for(paper_dim, delta)
 
         if where is not None:
-            mask = Mask.coerce(self.mesh, where) if isinstance(where, Mask) else None
-            if mask is not None:
-                active = mask.is_active
-            elif callable(where):
-                active = where
+            if isinstance(where, Mask) and where.key is not None and where.topology == self.mesh:
+                # Spec-keyed masks replay a module-cached subset plan shared
+                # by every machine of this degree.
+                plan = unit_route_plan_subset(self._embedding, paper_dim, delta, where.key)
             else:
-                selected = {self.mesh.validate_node(node) for node in where}
-                active = lambda node: node in selected  # noqa: E731
-            plan = plan.subset(source for source in plan.sources if active(source))
+                if isinstance(where, Mask):
+                    if where.topology == self.mesh:
+                        flags = where.dense_flags()
+                        node_index = self.mesh.node_index
+                        active = lambda node: flags[node_index(node)]  # noqa: E731
+                    else:
+                        active = Mask.coerce(self.mesh, where).is_active
+                elif callable(where):
+                    active = where
+                else:
+                    selected = {self.mesh.validate_node(node) for node in where}
+                    active = lambda node: node in selected  # noqa: E731
+                plan = plan.subset(source for source in plan.sources if active(source))
 
         used = self._star_machine.execute_plan(
             source_register,

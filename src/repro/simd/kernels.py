@@ -1,0 +1,207 @@
+"""Named elementwise kernels for masked local operations.
+
+:meth:`repro.simd.machine.SIMDMachine.apply` executes an arbitrary Python
+closure per active PE; the algorithm kernels in :mod:`repro.algorithms` only
+ever need a handful of shapes (compare-exchange min/max, select, replace,
+sentinel-guarded folds).  Naming them as :class:`Kernel` values lets
+
+* :meth:`repro.simd.machine.SIMDMachine.apply_kernel` run them over dense
+  registers without a per-PE Python call (ledger entries identical to the
+  equivalent :meth:`~repro.simd.machine.SIMDMachine.apply`), and
+* :mod:`repro.simd.programs` compile them into cached route programs (kernels
+  are hashable, so they can key program caches; sentinels compare by
+  identity).
+
+Kernels with a *sentinel* parameter treat a source value that ``is`` the
+sentinel as "no message arrived": the destination keeps its current value.
+This mirrors the seed implementations, which pre-filled staging registers
+with a sentinel before each masked route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ProgramError
+
+__all__ = [
+    "Kernel",
+    "COPY",
+    "REPLACE",
+    "const",
+    "keep_min",
+    "keep_max",
+    "adopt",
+    "adopt_if_missing",
+    "fold",
+    "execute_kernel",
+]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A named elementwise operation ``destination := f(*sources)``.
+
+    ``kind`` selects the operation; ``params`` holds its parameters
+    (sentinels, fold operators).  Instances are hashable -- sentinel objects
+    and operator functions hash by identity -- so kernels can key the route
+    program caches.
+    """
+
+    kind: str
+    params: Tuple = ()
+
+    @property
+    def num_sources(self) -> int:
+        """Number of source registers the kernel reads."""
+        return _NUM_SOURCES[self.kind]
+
+
+_NUM_SOURCES = {
+    "copy": 1,
+    "const": 1,  # reads nothing, but mirrors apply(reg, lambda _v: X, reg)
+    "replace": 2,
+    "keep_min": 2,
+    "keep_max": 2,
+    "adopt": 2,
+    "adopt_if_missing": 2,
+    "fold": 2,
+}
+
+COPY = Kernel("copy")
+"""``destination := source`` (the :meth:`copy_register` kernel)."""
+
+REPLACE = Kernel("replace")
+"""``destination := incoming`` unconditionally (second source wins)."""
+
+
+def const(value: object) -> Kernel:
+    """``destination := value`` on every active PE (clears staging registers)."""
+    return Kernel("const", (value,))
+
+
+def keep_min(sentinel: object) -> Kernel:
+    """Compare-exchange low end: keep ``min(current, incoming)``, or current if no message."""
+    return Kernel("keep_min", (sentinel,))
+
+
+def keep_max(sentinel: object) -> Kernel:
+    """Compare-exchange high end: keep ``max(current, incoming)``, or current if no message."""
+    return Kernel("keep_max", (sentinel,))
+
+
+def adopt(sentinel: object) -> Kernel:
+    """Take the incoming value when one arrived, else keep the current value."""
+    return Kernel("adopt", (sentinel,))
+
+
+def adopt_if_missing(missing: object) -> Kernel:
+    """Take the incoming value only if the current value is still *missing*."""
+    return Kernel("adopt_if_missing", (missing,))
+
+
+def fold(
+    operator: Callable[[object, object], object],
+    sentinel: object,
+    *,
+    incoming_first: bool,
+) -> Kernel:
+    """Sentinel-guarded binary fold.
+
+    ``destination := operator(incoming, current)`` when *incoming_first* (the
+    scan convention) or ``operator(current, incoming)`` otherwise (the
+    reduction convention); the current value is kept when the incoming value
+    ``is`` the sentinel.
+    """
+    return Kernel("fold", (operator, sentinel, bool(incoming_first)))
+
+
+def execute_kernel(
+    kernel: Kernel,
+    destination: List[object],
+    sources: Sequence[List[object]],
+    indices: Optional[Sequence[int]],
+) -> None:
+    """Run *kernel* over dense register lists.
+
+    *indices* selects the active PEs (``None`` means every PE, taking the
+    whole-register fast paths).  Values are read before any write within each
+    index, matching :meth:`SIMDMachine.apply` on the same closure.
+    """
+    kind = kernel.kind
+    if len(sources) != _NUM_SOURCES[kind]:
+        raise ProgramError(
+            f"kernel {kind!r} needs {_NUM_SOURCES[kind]} source register(s), "
+            f"got {len(sources)}"
+        )
+    if kind == "copy":
+        src = sources[0]
+        if indices is None:
+            destination[:] = src
+        else:
+            for index in indices:
+                destination[index] = src[index]
+    elif kind == "const":
+        (value,) = kernel.params
+        if indices is None:
+            destination[:] = [value] * len(destination)
+        else:
+            for index in indices:
+                destination[index] = value
+    elif kind == "replace":
+        incoming = sources[1]
+        if indices is None:
+            destination[:] = incoming
+        else:
+            for index in indices:
+                destination[index] = incoming[index]
+    elif kind == "keep_min":
+        (sentinel,) = kernel.params
+        current, incoming = sources
+        for index in indices if indices is not None else range(len(destination)):
+            received = incoming[index]
+            if received is sentinel:
+                destination[index] = current[index]
+            else:
+                value = current[index]
+                destination[index] = value if value <= received else received
+    elif kind == "keep_max":
+        (sentinel,) = kernel.params
+        current, incoming = sources
+        for index in indices if indices is not None else range(len(destination)):
+            received = incoming[index]
+            if received is sentinel:
+                destination[index] = current[index]
+            else:
+                value = current[index]
+                destination[index] = received if value <= received else value
+    elif kind == "adopt":
+        (sentinel,) = kernel.params
+        current, incoming = sources
+        for index in indices if indices is not None else range(len(destination)):
+            received = incoming[index]
+            destination[index] = current[index] if received is sentinel else received
+    elif kind == "adopt_if_missing":
+        (missing,) = kernel.params
+        current, incoming = sources
+        for index in indices if indices is not None else range(len(destination)):
+            value = current[index]
+            received = incoming[index]
+            if value is missing and received is not missing:
+                destination[index] = received
+            else:
+                destination[index] = value
+    elif kind == "fold":
+        operator, sentinel, incoming_first = kernel.params
+        current, incoming = sources
+        for index in indices if indices is not None else range(len(destination)):
+            received = incoming[index]
+            if received is sentinel:
+                destination[index] = current[index]
+            elif incoming_first:
+                destination[index] = operator(received, current[index])
+            else:
+                destination[index] = operator(current[index], received)
+    else:
+        raise ProgramError(f"unknown kernel kind {kind!r}")

@@ -43,6 +43,7 @@ from typing import (
 
 from repro.exceptions import ProgramError, RouteConflictError, SimulationError
 from repro.simd.conflicts import UnitRouteStep, check_unit_route_conflicts
+from repro.simd.kernels import Kernel, execute_kernel
 from repro.simd.masks import Mask, MaskSource
 from repro.simd.trace import RouteStatistics
 from repro.topology.base import Node, Topology
@@ -163,13 +164,67 @@ class SIMDMachine:
                 dest[index] = function(*(reg[index] for reg in source_registers))
             count = len(self._nodes)
         else:
+            indices = self._active_indices(where)
+            for index in indices:
+                dest[index] = function(*(reg[index] for reg in source_registers))
+            count = len(indices)
+        self._stats.record_local(operations=count)
+        self._stats.record_broadcast()
+
+    def _active_indices(self, where: MaskSource) -> Sequence[int]:
+        """Dense indices of the PEs selected by *where* (all PEs for None).
+
+        The fast-path twin of ``Mask.coerce(...).is_active`` sweeps: masks
+        with a matching topology yield their cached index list, predicates are
+        evaluated directly without materialising a tuple-keyed dict.
+        """
+        if where is None:
+            return range(len(self._nodes))
+        if isinstance(where, Mask):
+            if where.topology == self._topology:
+                return where.active_indices()
+            # Different topology: preserve the facade's error behaviour
+            # (is_active raises MaskError for uncovered nodes).
             mask = Mask.coerce(self._topology, where)
             is_active = mask.is_active
-            for index, node in enumerate(self._nodes):
-                if not is_active(node):
-                    continue
-                dest[index] = function(*(reg[index] for reg in source_registers))
-                count += 1
+            return [
+                index for index, node in enumerate(self._nodes) if is_active(node)
+            ]
+        if callable(where):
+            return [
+                index for index, node in enumerate(self._nodes) if where(node)
+            ]
+        mask = Mask.coerce(self._topology, where)
+        flags = mask.dense_flags()
+        return [index for index in range(len(self._nodes)) if flags[index]]
+
+    def apply_kernel(
+        self,
+        destination: str,
+        kernel: "Kernel",
+        *sources: str,
+        where: MaskSource = None,
+    ) -> None:
+        """Masked elementwise operation through a named :class:`Kernel`.
+
+        The vectorised twin of :meth:`apply`: the kernel runs over the dense
+        register lists with no per-PE Python closure (whole-register slice
+        operations when unmasked).  The ledger entries are identical to
+        :meth:`apply` with the equivalent closure -- one local-operation batch
+        counting every *active* PE (whether or not a sentinel-guarded kernel
+        changed its value) plus one instruction broadcast.
+        """
+        if destination not in self._registers:
+            self.define_register(destination)
+        dest = self._register(destination)
+        source_registers = [self._register(s) for s in sources]
+        if where is None:
+            indices = None
+            count = len(self._nodes)
+        else:
+            indices = self._active_indices(where)
+            count = len(indices)
+        execute_kernel(kernel, dest, source_registers, indices)
         self._stats.record_local(operations=count)
         self._stats.record_broadcast()
 
@@ -349,6 +404,7 @@ class SIMDMachine:
             self.define_register(destination_register)
         destination = self._register(destination_register)
         transit = list(source)
+        total_messages = 0
         for step in steps:
             staged_final = [(dst, transit[src]) for src, dst in step.arriving]
             staged_transit = [(dst, transit[src]) for src, dst in step.continuing]
@@ -356,7 +412,10 @@ class SIMDMachine:
                 destination[dst] = value
             for dst, value in staged_transit:
                 transit[dst] = value
-            self._stats.record_route(messages=step.num_messages, label=label)
+            total_messages += step.num_messages
+        # One batched ledger update for the whole replay (snapshot-identical
+        # to per-step record_route calls: every step shares the label).
+        self._stats.record_routes(len(steps), messages=total_messages, label=label)
         return len(steps)
 
     # --------------------------------------------------------------- utilities

@@ -83,6 +83,12 @@ class MeshMachine(SIMDMachine):
         table = self._moves_along(dim, delta)
         if where is None:
             moves = table
+        elif isinstance(where, Mask) and where.topology == self.topology:
+            flags = where.dense_flags()
+            moves = [(src, dst) for src, dst in table if flags[src]]
+        elif callable(where):
+            nodes = self._nodes
+            moves = [(src, dst) for src, dst in table if where(nodes[src])]
         else:
             mask = Mask.coerce(self.topology, where)
             is_active = mask.is_active

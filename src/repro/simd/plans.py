@@ -32,7 +32,13 @@ from repro.topology.base import Node
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.embedding.mesh_to_star import MeshToStarEmbedding
 
-__all__ = ["PlanStep", "UnitRoutePlan", "unit_route_plan", "clear_plan_cache"]
+__all__ = [
+    "PlanStep",
+    "UnitRoutePlan",
+    "unit_route_plan",
+    "unit_route_plan_subset",
+    "clear_plan_cache",
+]
 
 IndexMove = Tuple[int, int]
 
@@ -173,6 +179,44 @@ def build_unit_route_plan(
 
 
 _PLAN_CACHE: Dict[Tuple[int, int, int], UnitRoutePlan] = {}
+_SUBSET_CACHE: Dict[Tuple[int, int, int, Tuple], UnitRoutePlan] = {}
+
+
+def unit_route_plan_subset(
+    embedding: "MeshToStarEmbedding", dimension: int, delta: int, spec: Tuple
+) -> UnitRoutePlan:
+    """The cached replay plan restricted to the mesh sources a mask spec selects.
+
+    *spec* is a hashable mask spec (:mod:`repro.simd.masks`) over the guest
+    mesh.  Masked unit routes with spec-keyed masks replay these shared
+    subsets instead of re-filtering (and re-laying-out) the full plan on every
+    call; opaque predicate masks still go through
+    :meth:`UnitRoutePlan.subset` directly.
+    """
+    from repro.embedding.mesh_to_star import MeshToStarEmbedding
+    from repro.simd.masks import MASK_ALL, mask_flags
+
+    plan = unit_route_plan(embedding, dimension, delta)
+    if spec == MASK_ALL:
+        return plan
+    key = (
+        (embedding.n, dimension, delta, spec)
+        if type(embedding) is MeshToStarEmbedding
+        else None
+    )
+    if key is not None:
+        cached = _SUBSET_CACHE.get(key)
+        if cached is not None:
+            return cached
+    mesh = embedding.mesh
+    flags = mask_flags(mesh, spec)
+    node_index = mesh.node_index
+    subset = plan.subset(
+        source for source in plan.sources if flags[node_index(source)]
+    )
+    if key is not None:
+        _SUBSET_CACHE[key] = subset
+    return subset
 
 
 def unit_route_plan(
@@ -200,3 +244,4 @@ def unit_route_plan(
 def clear_plan_cache() -> None:
     """Drop every cached plan (used by tests and memory-sensitive callers)."""
     _PLAN_CACHE.clear()
+    _SUBSET_CACHE.clear()

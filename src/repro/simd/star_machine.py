@@ -112,13 +112,27 @@ class StarMachine(SIMDMachine):
             destination[:] = [source[sender] for sender in table]
             self._stats.record_route(messages=self.num_pes, label=label)
             return
-        mask = Mask.coerce(self.topology, where)
-        is_active = mask.is_active
-        moves = [
-            (index, table[index])
-            for index, node in enumerate(self._nodes)
-            if is_active(node)
-        ]
+        if isinstance(where, Mask) and where.topology == self.topology:
+            flags = where.dense_flags()
+            moves = [
+                (index, table[index])
+                for index in range(len(self._nodes))
+                if flags[index]
+            ]
+        elif callable(where):
+            moves = [
+                (index, table[index])
+                for index, node in enumerate(self._nodes)
+                if where(node)
+            ]
+        else:
+            mask = Mask.coerce(self.topology, where)
+            is_active = mask.is_active
+            moves = [
+                (index, table[index])
+                for index, node in enumerate(self._nodes)
+                if is_active(node)
+            ]
         # Any subset of a perfect matching is conflict-free (validated when the
         # table was first loaded), so the integer check is skipped.
         self.route_indexed(

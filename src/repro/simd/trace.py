@@ -31,6 +31,23 @@ class RouteStatistics:
         self.messages += messages
         self.by_label[label] = self.by_label.get(label, 0) + 1
 
+    def record_routes(self, count: int, *, messages: int, label: str = "route") -> None:
+        """Record *count* unit routes carrying *messages* messages in total.
+
+        The batched twin of :meth:`record_route`: one counter update covers a
+        whole program step (e.g. the <= 3 star unit routes replaying one mesh
+        route, or a fused carry chain).  ``snapshot()`` output is identical to
+        *count* individual :meth:`record_route` calls whose message counts sum
+        to *messages*.
+        """
+        if count < 0 or messages < 0:
+            raise ValueError("count and messages must be non-negative")
+        if count == 0:
+            return
+        self.unit_routes += count
+        self.messages += messages
+        self.by_label[label] = self.by_label.get(label, 0) + count
+
     def record_local(self, *, operations: int = 1) -> None:
         """Record *operations* local (intra-PE) arithmetic steps."""
         self.local_operations += operations
