@@ -8,7 +8,7 @@ LEM2 and THM4 themselves.
 import pytest
 
 from repro.embedding.mesh_to_star import MeshToStarEmbedding, convert_d_s, convert_s_d
-from repro.embedding.metrics import measure_embedding
+from repro.embedding.metrics import measure_embedding, measure_embedding_reference
 from repro.experiments.claims import exp_dilation, exp_lemma1_no_dilation1, exp_lemma2_transposition_distance
 from repro.topology.mesh import paper_mesh
 
@@ -45,6 +45,49 @@ def test_measure_full_embedding(benchmark, n):
     """Materialise and measure the full embedding (dilation/congestion/expansion)."""
     def build_and_measure():
         return measure_embedding(MeshToStarEmbedding(n))
+
+    metrics = benchmark(build_and_measure)
+    assert metrics.dilation == 3
+
+
+# ------------------------------------------------------------ PR-3 ablation
+# Per-node tuple walk vs move-table batched measurement of the same embedding
+# (the pair behind the THM4 degree-8 default sweep).
+@pytest.mark.parametrize("n", [5, 6])
+def test_measure_embedding_reference_pernode(benchmark, n):
+    """Ablation (a): per-path tuple/Counter measurement (seed implementation)."""
+    def build_and_measure():
+        return measure_embedding_reference(MeshToStarEmbedding(n))
+
+    metrics = benchmark(build_and_measure)
+    assert metrics.dilation == 3
+
+
+@pytest.mark.parametrize("n", [5, 6])
+def test_measure_embedding_batched(benchmark, n):
+    """Ablation (b): move-table batched kernel on a fresh embedding instance."""
+    def build_and_measure():
+        return measure_embedding(MeshToStarEmbedding(n))
+
+    metrics = benchmark(build_and_measure)
+    assert metrics.dilation == 3
+
+
+@pytest.mark.heavy_bench
+def test_measure_embedding_reference_pernode_n7(benchmark):
+    """Heavy ablation (a): the per-node walk at degree 7 (~22k edge paths)."""
+    def build_and_measure():
+        return measure_embedding_reference(MeshToStarEmbedding(7))
+
+    metrics = benchmark(build_and_measure)
+    assert metrics.dilation == 3
+
+
+@pytest.mark.heavy_bench
+def test_measure_embedding_batched_n8(benchmark):
+    """Heavy ablation (b): the batched kernel at degree 8 (~213k mesh edges)."""
+    def build_and_measure():
+        return measure_embedding(MeshToStarEmbedding(8))
 
     metrics = benchmark(build_and_measure)
     assert metrics.dilation == 3

@@ -5,11 +5,18 @@ These are the primitives every experiment leans on; the ablation pair
 DESIGN.md (formula preferred, BFS kept as an oracle).
 """
 
+import random
+
 import pytest
 
 from repro.experiments.claims import exp_star_properties, exp_star_vs_hypercube
+from repro.topology.mesh import paper_mesh
 from repro.topology.nx_adapter import bfs_distances
-from repro.topology.routing import star_distance, star_route
+from repro.topology.properties import (
+    connectivity_after_faults,
+    connectivity_after_faults_reference,
+)
+from repro.topology.routing import bfs_distances_from, star_distance, star_route
 from repro.topology.star import StarGraph
 
 
@@ -74,6 +81,64 @@ def test_star_neighborhood_scan(benchmark, n):
 
     total = benchmark(scan)
     assert total == star.num_nodes * (n - 1)
+
+
+# ------------------------------------------------------------ PR-3 ablation
+# Dict-BFS vs vectorised index-sweep distances over the same topology (the
+# pair behind the PROP-D diameter and LEM2 distance measurements).
+@pytest.mark.parametrize("name,topology", [("S6", StarGraph(6)), ("D6", paper_mesh(6))])
+def test_bfs_distances_dict_reference(benchmark, name, topology):
+    """Ablation (a): single-source distances via the retained dict BFS."""
+    origin = topology.node_from_index(0)
+
+    def sweep():
+        return topology._bfs_distances(origin)  # noqa: SLF001 - the seed oracle
+
+    distances = benchmark(sweep)
+    assert len(distances) == topology.num_nodes
+
+
+@pytest.mark.parametrize("name,topology", [("S6", StarGraph(6)), ("D6", paper_mesh(6))])
+def test_bfs_distances_index_sweep(benchmark, name, topology):
+    """Ablation (b): the same distances as a frontier sweep over the index table."""
+    origin = topology.node_from_index(0)
+    topology.neighbor_index_table()  # amortised precompute, shared by all sweeps
+
+    def sweep():
+        return bfs_distances_from(topology, origin, use_closed_form=False)
+
+    distances = benchmark(sweep)
+    assert len(distances) == topology.num_nodes
+
+
+# Fault-connectivity: dict-of-tuples flood vs boolean alive-mask flood.
+@pytest.mark.parametrize("n", [5, 6])
+def test_connectivity_faults_dict_reference(benchmark, n):
+    """Ablation (a): fault trials through the tuple-set flood fill."""
+    star = StarGraph(n)
+    rng = random.Random(0)
+    nodes = list(star.nodes())
+    fault_sets = [rng.sample(nodes, n - 2) for _ in range(5)]
+
+    def trials():
+        return [connectivity_after_faults_reference(star, faults) for faults in fault_sets]
+
+    assert all(benchmark(trials))
+
+
+@pytest.mark.parametrize("n", [5, 6])
+def test_connectivity_faults_index_mask(benchmark, n):
+    """Ablation (b): the same trials through the alive-mask flood."""
+    star = StarGraph(n)
+    rng = random.Random(0)
+    nodes = list(star.nodes())
+    fault_sets = [rng.sample(nodes, n - 2) for _ in range(5)]
+    star.neighbor_index_table()  # amortised precompute
+
+    def trials():
+        return [connectivity_after_faults(star, faults) for faults in fault_sets]
+
+    assert all(benchmark(trials))
 
 
 def test_propd_experiment(benchmark):

@@ -1,4 +1,4 @@
-"""repro -- reproduction of "Embedding Meshes on the Star Graph" (Ranka, Wang, Yeh 1989).
+"""repro -- reproduction of "Embedding Meshes on the Star Graph" (Ranka, Wang & Yeh, Supercomputing 1990).
 
 The package implements the paper's dilation-3, expansion-1 embedding of the
 ``2*3*...*n`` mesh into the ``n``-star graph, every substrate it relies on

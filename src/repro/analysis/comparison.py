@@ -24,7 +24,13 @@ from repro.analysis.bounds import (
 )
 from repro.utils.validation import check_positive_int
 
-__all__ = ["NetworkRow", "star_vs_hypercube_table", "closest_hypercube_for_star"]
+__all__ = [
+    "NetworkRow",
+    "star_vs_hypercube_table",
+    "closest_hypercube_for_star",
+    "MeasuredNetworkRow",
+    "measured_network_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,77 @@ def star_vs_hypercube_table(max_degree: int) -> List[NetworkRow]:
                 hypercube_diameter=hypercube_diameter(degree),
             )
         )
+    return rows
+
+
+@dataclass(frozen=True)
+class MeasuredNetworkRow:
+    """Measured whole-graph metrics of one concrete network instance.
+
+    ``diameter_measured`` and ``average_distance`` come from the vectorised
+    distance sweep of :func:`repro.topology.routing.distance_summary` (one
+    pass per source over the adjacency index table); ``diameter_formula`` is
+    the closed form the measurement is held against.
+    """
+
+    degree: int
+    network: str
+    nodes: int
+    diameter_formula: int
+    diameter_measured: int
+    average_distance: float
+
+    @property
+    def diameter_matches(self) -> bool:
+        """True when the measured diameter equals the closed form."""
+        return self.diameter_measured == self.diameter_formula
+
+
+def measured_network_rows(max_degree: int, *, max_nodes: int = 1024) -> List[MeasuredNetworkRow]:
+    """Measured diameters/average distances for the comparison networks.
+
+    For every degree ``2..max_degree`` the star graph ``S_{degree+1}`` and the
+    hypercube ``Q_degree`` are measured through the index-table distance
+    sweep, skipping instances above *max_nodes* (the sweep is quadratic in
+    the node count).  Used by the CMP experiment to put measured numbers next
+    to the quoted formulas.
+    """
+    check_positive_int(max_degree, "max_degree", minimum=2)
+    from repro.topology.hypercube import Hypercube
+    from repro.topology.routing import distance_summary
+    from repro.topology.star import StarGraph
+
+    rows: List[MeasuredNetworkRow] = []
+    for degree in range(2, max_degree + 1):
+        star = StarGraph(degree + 1)
+        if star.num_nodes <= max_nodes:
+            # use_closed_form=False: the sweep itself is the measurement the
+            # closed form is held against, so the star graph must not answer
+            # from its analytic formula here.
+            summary = distance_summary(star, use_closed_form=False)
+            rows.append(
+                MeasuredNetworkRow(
+                    degree=degree,
+                    network=f"S_{degree + 1}",
+                    nodes=star.num_nodes,
+                    diameter_formula=star_diameter(degree + 1),
+                    diameter_measured=summary.diameter,
+                    average_distance=summary.average_distance,
+                )
+            )
+        cube = Hypercube(degree)
+        if cube.num_nodes <= max_nodes:
+            summary = distance_summary(cube, use_closed_form=False)
+            rows.append(
+                MeasuredNetworkRow(
+                    degree=degree,
+                    network=f"Q_{degree}",
+                    nodes=cube.num_nodes,
+                    diameter_formula=hypercube_diameter(degree),
+                    diameter_measured=summary.diameter,
+                    average_distance=summary.average_distance,
+                )
+            )
     return rows
 
 

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.embedding.uniform import (
+    ContractionMetrics,
+    UniformMeshSimulation,
     atallah_slowdown,
     factorise_paper_mesh,
     optimal_simulation_dimension,
@@ -28,7 +30,12 @@ from repro.embedding.uniform import (
 )
 from repro.utils.validation import check_positive_int
 
-__all__ = ["SimulationCostRow", "uniform_simulation_table", "sorting_cost_estimates"]
+__all__ = [
+    "SimulationCostRow",
+    "uniform_simulation_table",
+    "measured_uniform_contraction",
+    "sorting_cost_estimates",
+]
 
 
 @dataclass(frozen=True)
@@ -60,6 +67,21 @@ def uniform_simulation_table(degrees: List[int]) -> List[SimulationCostRow]:
             )
         )
     return rows
+
+
+def measured_uniform_contraction(n: int) -> ContractionMetrics:
+    """Measured contraction of the uniform ``(n-1)``-dimensional mesh onto ``D_n``.
+
+    The uniform side is ``round(n!^(1/(n-1)))`` (at least 2), matching the
+    Theorem-9 setting of ``~n!`` uniform processors.  The measurement runs
+    through the vectorised :meth:`UniformMeshSimulation.measure` -- image
+    ranks, loads and per-edge Manhattan stretch are whole-array reductions --
+    so the THM9 experiment can afford it at every tabulated degree.
+    """
+    check_positive_int(n, "n", minimum=2)
+    side = max(2, round(math.factorial(n) ** (1.0 / (n - 1))))
+    simulation = UniformMeshSimulation(tuple(side for _ in range(n - 1)), n=n)
+    return simulation.measure()
 
 
 def sorting_cost_estimates(n: int) -> Dict[str, float]:

@@ -149,7 +149,9 @@ class Embedding:
                 f"path for guest edge ({u!r}, {v!r}) does not connect the mapped endpoints"
             )
         for a, b in pairwise(path):
-            if not self._host.has_edge(a, b):
+            # Path nodes are validated before this check runs, so the
+            # closed-form adjacency predicate is safe (and much cheaper).
+            if not self._host._adjacent(a, b):  # noqa: SLF001 - hot validation loop
                 raise EmbeddingError(
                     f"path for guest edge ({u!r}, {v!r}) uses the non-edge ({a!r}, {b!r})"
                 )

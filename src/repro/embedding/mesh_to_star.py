@@ -110,20 +110,28 @@ def convert_d_s(coords: Sequence[int], n: int) -> Node:
             raise InvalidParameterError(
                 f"coordinate for dimension {i} must be in [0, {i}], got {d_i}"
             )
+    return _convert_d_s_unchecked(coords, n)
 
+
+def _convert_d_s_unchecked(coords: Sequence[int], n: int) -> Node:
+    """CONVERT-D-S on known-valid coordinates (bulk vertex-map fast path).
+
+    Symbols are ``0..n-1``, so the position table is a plain list instead of a
+    dictionary; the adjacent exchanges of Table 1 are applied inline.
+    """
     # Arrangement written leftmost first; start at the image of the mesh origin.
     arrangement = list(range(n - 1, -1, -1))
-    position_of = {symbol: index for index, symbol in enumerate(arrangement)}
-
-    def swap_symbols(a: int, b: int) -> None:
-        pa, pb = position_of[a], position_of[b]
-        arrangement[pa], arrangement[pb] = arrangement[pb], arrangement[pa]
-        position_of[a], position_of[b] = pb, pa
+    position_of = list(range(n - 1, -1, -1))  # position_of[symbol]
 
     for i in range(1, n):
         d_i = coords[n - 1 - i]
-        for a, b in exchange_sequence(i, d_i):
-            swap_symbols(a, b)
+        # exchange_sequence(i, d_i): (i-1, i), (i-2, i-1), ..., d_i exchanges.
+        for j in range(1, d_i + 1):
+            a = i - j
+            b = a + 1
+            pa, pb = position_of[a], position_of[b]
+            arrangement[pa], arrangement[pb] = b, a
+            position_of[a], position_of[b] = pb, pa
     return tuple(arrangement)
 
 
@@ -288,6 +296,28 @@ class MeshToStarEmbedding(Embedding):
         return self.host  # type: ignore[return-value]
 
     # ------------------------------------------------------------------- maps
+    def rank_vertex_map(self):
+        """The whole vertex map as ranks: entry ``m`` is the lexicographic
+        rank of the host image of the mesh node with row-major index ``m``.
+
+        Built once per instance (CONVERT-D-S over every mesh node, then one
+        batched :func:`repro.permutations.ranking.ranks_of` call) and cached;
+        this is the substrate of the vectorised embedding measurement in
+        :mod:`repro.embedding.metrics`.  NumPy ``int64`` array when NumPy is
+        available, else a list.
+        """
+        cached = getattr(self, "_cached_rank_vertex_map", None)
+        if cached is None:
+            from repro.permutations.ranking import ranks_of
+
+            n = self._n
+            rows = [_convert_d_s_unchecked(coords, n) for coords in self.guest.nodes()]
+            cached = ranks_of(rows)
+            if hasattr(cached, "setflags"):
+                cached.setflags(write=False)
+            setattr(self, "_cached_rank_vertex_map", cached)
+        return cached
+
     def inverse(self, perm: Sequence[int]) -> Node:
         """Mesh coordinates of the star node *perm* (``CONVERT-S-D``)."""
         perm = self.host.validate_node(tuple(perm))

@@ -13,21 +13,40 @@ Section 3.1 of the paper defines:
 We additionally report the *average* dilation and the host-node load (how many
 guest nodes map to each host node -- always one for expansion-1 embeddings),
 which are standard in the embedding literature and useful in the experiments.
+
+Measurement of the paper's
+:class:`~repro.embedding.mesh_to_star.MeshToStarEmbedding` runs index-native
+(PR 3): the canonical Lemma-2 paths are never materialised as tuples -- every
+hop is a gather through the star generator move tables, and the
+dilation/congestion/load tallies are ``np.bincount`` / ``np.unique``
+reductions over batched path lengths and interned host-link ids
+(:func:`_mesh_to_star_edge_data`).  That kernel is what makes the degree-8
+Theorem-4 sweep run in seconds.  Other embeddings walk their edge paths
+per-hop (the construction cost dominates there); that implementation is
+:func:`measure_embedding_reference`, which doubles as the parity oracle for
+the batched kernel (``tests/embedding/test_base_and_metrics.py``).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.embedding.base import Embedding
+from repro.exceptions import EmbeddingError
 from repro.topology.base import Node
 from repro.utils.itertools_ext import pairwise
+
+try:  # pragma: no cover - exercised indirectly on both branches
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes NumPy in
+    _np = None
 
 __all__ = [
     "EmbeddingMetrics",
     "measure_embedding",
+    "measure_embedding_reference",
     "dilation",
     "expansion",
     "congestion",
@@ -51,10 +70,13 @@ class _EdgeInterner:
     def __init__(self) -> None:
         self._rank_of: Dict[Node, int] = {}
 
+    def node_id(self, node: Node) -> int:
+        """The dense integer rank of one host node."""
+        return self._rank_of.setdefault(node, len(self._rank_of))
+
     def edge_id(self, u: Node, v: Node) -> Tuple[int, int]:
-        rank_of = self._rank_of
-        a = rank_of.setdefault(u, len(rank_of))
-        b = rank_of.setdefault(v, len(rank_of))
+        a = self.node_id(u)
+        b = self.node_id(v)
         return (a, b) if a <= b else (b, a)
 
 
@@ -98,6 +120,10 @@ def expansion(embedding: Embedding) -> float:
 
 def dilation(embedding: Embedding) -> int:
     """Maximum length of the host paths assigned to guest edges."""
+    data = _mesh_to_star_edge_data(embedding)
+    if data is not None:
+        data.raise_on_invalid()
+        return data.dilation
     longest = 0
     for _, path in embedding.edge_paths():
         longest = max(longest, len(path) - 1)
@@ -106,6 +132,10 @@ def dilation(embedding: Embedding) -> int:
 
 def average_dilation(embedding: Embedding) -> float:
     """Mean assigned path length over all guest edges."""
+    data = _mesh_to_star_edge_data(embedding)
+    if data is not None:
+        data.raise_on_invalid()
+        return data.average_dilation
     total = 0
     count = 0
     for _, path in embedding.edge_paths():
@@ -116,6 +146,10 @@ def average_dilation(embedding: Embedding) -> float:
 
 def congestion(embedding: Embedding) -> int:
     """Maximum number of assigned paths crossing any single host edge."""
+    data = _mesh_to_star_edge_data(embedding)
+    if data is not None:
+        data.raise_on_invalid()
+        return data.congestion
     counter: Counter = Counter()
     edges = _EdgeInterner()
     for _, path in embedding.edge_paths():
@@ -130,12 +164,21 @@ def verify_embedding(embedding: Embedding, *, max_dilation: Optional[int] = None
     Returns True on success; raises :class:`repro.exceptions.EmbeddingError`
     (from :meth:`Embedding.validate`) or
     :class:`repro.exceptions.DilationViolationError` on failure.
+
+    For the canonical mesh-to-star embedding validation runs vectorised: the
+    rank vertex map is checked injective and every canonical hop is replayed
+    through the generator move tables (endpoint, adjacency-by-construction
+    and simplicity checks on whole arrays) -- see :func:`_mesh_to_star_edge_data`.
     """
     from repro.exceptions import DilationViolationError
 
-    embedding.validate()
+    data = _mesh_to_star_edge_data(embedding)
+    if data is not None:
+        data.raise_on_invalid()
+    else:
+        embedding.validate()
     if max_dilation is not None:
-        actual = dilation(embedding)
+        actual = data.dilation if data is not None else dilation(embedding)
         if actual > max_dilation:
             raise DilationViolationError(
                 f"embedding {embedding.name!r} has dilation {actual} > claimed {max_dilation}"
@@ -146,11 +189,23 @@ def verify_embedding(embedding: Embedding, *, max_dilation: Optional[int] = None
 def measure_embedding(embedding: Embedding) -> EmbeddingMetrics:
     """Compute every metric in a single pass over the edge paths.
 
-    The vertex images are materialised once up front (instead of two
-    ``map_node`` calls per guest edge), and when the embedding declares itself
-    shortest-path-routed (``embedding.shortest_path_routed``) the assigned
-    path length doubles as the shortest-path distance, skipping the per-edge
-    ``host.distance`` calls entirely.
+    Dispatches to the move-table batched kernel for the canonical
+    mesh-to-star embedding (no per-edge tuples at all); every other embedding
+    walks its edge paths once through :func:`measure_embedding_reference` --
+    the per-hop path construction dominates there, so a vectorised tally
+    would buy nothing.  Identical results on every valid embedding.
+    """
+    data = _mesh_to_star_edge_data(embedding)
+    if data is not None:
+        return data.metrics()
+    return measure_embedding_reference(embedding)
+
+
+def measure_embedding_reference(embedding: Embedding) -> EmbeddingMetrics:
+    """Per-path tuple/Counter measurement (the seed implementation).
+
+    Retained as the parity oracle for :func:`measure_embedding` and as the
+    baseline side of the benchmark ablation.
     """
     images = embedding.vertex_images()
     shortest_routed = getattr(embedding, "shortest_path_routed", False)
@@ -188,3 +243,193 @@ def measure_embedding(embedding: Embedding) -> EmbeddingMetrics:
         max_load=max(load.values()) if load else 0,
         edge_length_histogram=dict(sorted(edge_lengths.items())),
     )
+
+
+# ------------------------------------------------ mesh-to-star batched kernel
+@dataclass(frozen=True)
+class _MeshToStarEdgeData:
+    """Aggregates of the canonical Lemma-2 paths, computed without tuples.
+
+    Everything an embedding metric or validation needs, reduced from whole
+    arrays: per-edge path lengths, interned host-link ids for every hop and
+    the validity flags of the batched construction.
+    """
+
+    name: str
+    num_nodes: int
+    guest_edges: int
+    dilation: int
+    average_dilation: float
+    congestion: int
+    max_load: int
+    edge_length_histogram: Dict[int, int]
+    injective: bool
+    paths_consistent: bool
+
+    def raise_on_invalid(self) -> None:
+        if not self.injective:
+            raise EmbeddingError(f"vertex map of {self.name!r} is not injective")
+        if not self.paths_consistent:
+            raise EmbeddingError(
+                f"canonical paths of {self.name!r} do not connect the mapped endpoints"
+            )
+
+    def metrics(self) -> EmbeddingMetrics:
+        self.raise_on_invalid()
+        return EmbeddingMetrics(
+            name=self.name,
+            guest_nodes=self.num_nodes,
+            host_nodes=self.num_nodes,
+            guest_edges=self.guest_edges,
+            expansion=1.0,
+            dilation=self.dilation,
+            # Lemma 2: the canonical paths are shortest host paths
+            # (embedding.shortest_path_routed is True by construction).
+            shortest_path_dilation=self.dilation,
+            average_dilation=self.average_dilation,
+            congestion=self.congestion,
+            max_load=self.max_load,
+            edge_length_histogram=dict(self.edge_length_histogram),
+        )
+
+
+def _mesh_to_star_edge_data(embedding: Embedding) -> Optional[_MeshToStarEdgeData]:
+    """The batched edge kernel for the canonical embedding, or None.
+
+    Returns None (caller falls back to the tuple walk) unless *embedding* is
+    a :class:`~repro.embedding.mesh_to_star.MeshToStarEmbedding` with NumPy
+    available and the degree within the dense-table bound.  The result is
+    cached on the embedding instance.
+    """
+    from repro.embedding.mesh_to_star import MeshToStarEmbedding
+    from repro.permutations.ranking import MAX_TABLE_DEGREE
+
+    if _np is None or type(embedding) is not MeshToStarEmbedding:
+        return None
+    if embedding.n > MAX_TABLE_DEGREE:
+        return None
+    cached = getattr(embedding, "_cached_fast_edge_data", None)
+    if cached is None:
+        cached = _build_mesh_to_star_edge_data(embedding)
+        setattr(embedding, "_cached_fast_edge_data", cached)
+    return cached
+
+
+def _build_mesh_to_star_edge_data(embedding) -> _MeshToStarEdgeData:
+    from repro.permutations.ranking import all_permutations_array
+
+    n = embedding.n
+    star = embedding.star
+    mesh = embedding.mesh
+    num_nodes = star.num_nodes
+
+    ranks = _np.asarray(embedding.rank_vertex_map(), dtype=_np.int64)
+    perms = all_permutations_array(n)
+    move = star.neighbor_index_table()  # column j-1 = generator g_j
+
+    injective = (
+        ranks.size == num_nodes
+        and bool((ranks >= 0).all())
+        and bool((ranks < num_nodes).all())
+        and _np.unique(ranks).size == ranks.size
+    )
+    if not injective:
+        # Out-of-range ranks would fault the gathers below; report the broken
+        # vertex map through the normal EmbeddingError channel instead.
+        return _MeshToStarEdgeData(
+            name=embedding.name,
+            num_nodes=num_nodes,
+            guest_edges=0,
+            dilation=0,
+            average_dilation=0.0,
+            congestion=0,
+            max_load=0,
+            edge_length_histogram={},
+            injective=False,
+            paths_consistent=False,
+        )
+
+    lengths_parts: List = []
+    link_parts: List = []
+    consistent = True
+    for _dim, u_indices, v_indices in mesh.dimension_edge_indices():
+        u_ranks = ranks[u_indices]
+        v_ranks = ranks[v_indices]
+        if u_ranks.size == 0:
+            continue
+        source = perms[u_ranks].astype(_np.int64)
+        target = perms[v_ranks].astype(_np.int64)
+        differs = source != target
+        rows = _np.arange(source.shape[0])
+        # A mesh edge joins permutations differing by one symbol transposition:
+        # exactly two positions differ, with the symbols exchanged (Lemma 3).
+        i = differs.argmax(axis=1)
+        j = (n - 1) - differs[:, ::-1].argmax(axis=1)
+        consistent = consistent and bool(
+            (differs.sum(axis=1) == 2).all()
+            and (source[rows, i] == target[rows, j]).all()
+            and (source[rows, j] == target[rows, i]).all()
+        )
+        one_hop = i == 0
+
+        # Distance-1 edges: a single generator move g_j.
+        r0 = u_ranks[one_hop]
+        hop = move[r0, j[one_hop] - 1]
+        consistent = consistent and bool((hop == v_ranks[one_hop]).all())
+        link_parts.append(_link_ids(r0, hop, num_nodes))
+
+        # Distance-3 edges: the canonical g_i, g_j, g_i path of Lemma 2.
+        r0 = u_ranks[~one_hop]
+        gi = i[~one_hop] - 1
+        gj = j[~one_hop] - 1
+        r1 = move[r0, gi]
+        r2 = move[r1, gj]
+        r3 = move[r2, gi]
+        consistent = consistent and bool(
+            (r3 == v_ranks[~one_hop]).all()
+            # Simplicity: generator moves are fixed-point free, so consecutive
+            # hops differ; the non-consecutive pairs are checked explicitly.
+            and (r0 != r2).all()
+            and (r1 != r3).all()
+            and (r0 != r3).all()
+        )
+        link_parts.append(_link_ids(r0, r1, num_nodes))
+        link_parts.append(_link_ids(r1, r2, num_nodes))
+        link_parts.append(_link_ids(r2, r3, num_nodes))
+
+        lengths_parts.append(_np.where(one_hop, 1, 3).astype(_np.int64))
+
+    lengths = (
+        _np.concatenate(lengths_parts) if lengths_parts else _np.zeros(0, _np.int64)
+    )
+    links = _np.concatenate(link_parts) if link_parts else _np.zeros(0, _np.int64)
+    guest_edges = int(lengths.size)
+    if links.size:
+        _, usage = _np.unique(links, return_counts=True)
+        max_congestion = int(usage.max())
+    else:
+        max_congestion = 0
+    load = _np.bincount(ranks, minlength=num_nodes)
+    histogram = _np.bincount(lengths) if lengths.size else _np.zeros(0, _np.int64)
+
+    return _MeshToStarEdgeData(
+        name=embedding.name,
+        num_nodes=num_nodes,
+        guest_edges=guest_edges,
+        dilation=int(lengths.max()) if guest_edges else 0,
+        average_dilation=(float(lengths.sum()) / guest_edges) if guest_edges else 0.0,
+        congestion=max_congestion,
+        max_load=int(load.max()),
+        edge_length_histogram={
+            int(length): int(count) for length, count in enumerate(histogram) if count
+        },
+        injective=injective,
+        paths_consistent=consistent,
+    )
+
+
+def _link_ids(u_ranks, v_ranks, num_nodes: int):
+    """Canonical undirected host-link ids ``min * num_nodes + max``."""
+    lo = _np.minimum(u_ranks, v_ranks)
+    hi = _np.maximum(u_ranks, v_ranks)
+    return lo * num_nodes + hi

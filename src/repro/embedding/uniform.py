@@ -224,7 +224,62 @@ class UniformMeshSimulation:
         return self._target_radix.decode(target_rank)
 
     def measure(self) -> ContractionMetrics:
-        """Enumerate the contraction and measure load and edge stretch."""
+        """Measure load and edge stretch of the contraction.
+
+        Index-native (PR 3): image ranks are one arithmetic sweep over the
+        uniform node indices, loads one ``bincount`` and the per-edge
+        Manhattan stretch a digitwise reduction over the decoded target
+        coordinates -- no coordinate tuples are built.  Falls back to the
+        per-node enumeration (:meth:`measure_reference`) without NumPy;
+        results are identical (see the parity test in
+        ``tests/embedding/test_uniform.py``).
+        """
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - NumPy absent
+            return self.measure_reference()
+
+        uniform_total = self._uniform.num_nodes
+        target_total = self._target.num_nodes
+        indices = np.arange(uniform_total, dtype=np.int64)
+        image_ranks = indices * target_total // uniform_total
+
+        load_counts = np.bincount(image_ranks, minlength=target_total)
+        loads = load_counts[load_counts > 0]
+
+        # Decoded target coordinates, one row per target dimension.
+        target_coords = [
+            (image_ranks // weight) % side
+            for side, weight in zip(self._target.sides, self._target.index_weights())
+        ]
+
+        max_stretch = 0
+        total_stretch = 0
+        num_edges = 0
+        for _dim, u_idx, v_idx in self._uniform.dimension_edge_indices():
+            if u_idx.size == 0:
+                continue
+            stretch = np.zeros(u_idx.size, dtype=np.int64)
+            for axis in target_coords:
+                stretch += np.abs(axis[u_idx] - axis[v_idx])
+            max_stretch = max(max_stretch, int(stretch.max()))
+            total_stretch += int(stretch.sum())
+            num_edges += int(u_idx.size)
+
+        return ContractionMetrics(
+            uniform_sides=self._uniform.sides,
+            target_sides=self._target.sides,
+            uniform_nodes=uniform_total,
+            target_nodes=target_total,
+            max_load=int(loads.max()),
+            min_load=int(loads.min()),
+            average_load=float(load_counts.sum()) / int(loads.size),
+            max_edge_distance=max_stretch,
+            average_edge_distance=(total_stretch / num_edges) if num_edges else 0.0,
+        )
+
+    def measure_reference(self) -> ContractionMetrics:
+        """Per-node enumeration of the contraction (seed code, parity oracle)."""
         load: Dict[Node, int] = {}
         for coords in self._uniform.nodes():
             image = self.map_node(coords)

@@ -12,6 +12,11 @@ front only for that dimension).
 The paper makes no claim about congestion of the *static* embedding (only the
 dynamic, per-unit-route non-blocking of Lemma 5), so the measured congestion is
 reported as additional information rather than checked against a bound.
+
+Validation and measurement run through the move-table batched kernel of
+:mod:`repro.embedding.metrics` (PR 3) -- every canonical Lemma-2 path is a
+pair of move-table gathers instead of a tuple walk -- which is what lets the
+default sweep reach degree 8 (212976 mesh edges) in well under a second.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from repro.experiments.report import ExperimentResult
 __all__ = ["run"]
 
 
-def run(degrees=(3, 4, 5, 6)) -> ExperimentResult:
+def run(degrees=(3, 4, 5, 6, 7, 8)) -> ExperimentResult:
     """Measure the embedding for each degree in *degrees*."""
     rows = []
     claim = True

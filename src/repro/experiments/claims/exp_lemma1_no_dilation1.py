@@ -5,9 +5,12 @@ every guest degree to fit inside the host degree, but the interior mesh node
 ``(1, 1, ..., 1)`` has degree ``2n - 3`` while every star-graph node has degree
 ``n - 1``, so ``n > 2`` rules it out.  The experiment measures both degrees by
 enumeration (not by formula) for a range of ``n`` and reports where a
-dilation-1 embedding is possible.  For ``n = 2`` (where the claim permits
-dilation 1) it also confirms the actual embedding produced by the library has
-dilation 1.
+dilation-1 embedding is possible.  The degree scan is one reduction over the
+mesh's adjacency index table (:func:`repro.topology.properties.node_degrees`),
+so the default sweep enumerates all 40320 nodes of ``D_8`` instead of falling
+back to the formula above 5040 nodes as the per-node loop had to.  For
+``n = 2`` (where the claim permits dilation 1) it also confirms the actual
+embedding produced by the library has dilation 1.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from repro.embedding.mesh_to_star import MeshToStarEmbedding
 from repro.embedding.metrics import measure_embedding
 from repro.experiments.report import ExperimentResult
 from repro.topology.mesh import paper_mesh
+from repro.topology.properties import node_degrees
 
 __all__ = ["run"]
 
@@ -27,8 +31,7 @@ def run(max_n: int = 8) -> ExperimentResult:
     consistent = True
     for n in range(2, max_n + 1):
         mesh = paper_mesh(n)
-        measured_mesh_degree = max(len(mesh.neighbors(node)) for node in mesh.nodes()) \
-            if mesh.num_nodes <= 5040 else mesh.max_degree()
+        measured_mesh_degree = int(max(node_degrees(mesh)))
         formula_mesh_degree = paper_mesh_max_degree(n)
         host_degree = star_degree(n)
         possible = dilation_lower_bound_exists(n)

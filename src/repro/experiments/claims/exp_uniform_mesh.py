@@ -8,23 +8,23 @@ in two parts:
    ``2^n``, i.e. uniform-mesh algorithms do *not* transfer efficiently).
 2. **Measured contraction** -- a concrete load-balanced contraction of the
    uniform ``(n-1)``-dimensional mesh with ``~n!`` nodes onto ``D_n``
-   (:class:`repro.embedding.uniform.UniformMeshSimulation`); its measured
-   per-edge stretch is a lower bound on the realised per-step slowdown and is
-   reported next to the Theorem-8 bound (measured <= bound must hold).
+   (:func:`repro.analysis.simulation_cost.measured_uniform_contraction`, the
+   vectorised measurement of PR 3); its measured per-edge stretch is a lower
+   bound on the realised per-step slowdown and is reported next to the
+   Theorem-8 bound (measured <= bound must hold).
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.analysis.simulation_cost import uniform_simulation_table
-from repro.embedding.uniform import UniformMeshSimulation
+from repro.analysis.simulation_cost import measured_uniform_contraction, uniform_simulation_table
 from repro.experiments.report import ExperimentResult
 
 __all__ = ["run"]
 
 
-def run(degrees=(3, 4, 5, 6, 7, 8), measured_degrees=(3, 4, 5)) -> ExperimentResult:
+def run(degrees=(3, 4, 5, 6, 7, 8), measured_degrees=(3, 4, 5, 6)) -> ExperimentResult:
     """Tabulate the Section-4 bounds and measure concrete contractions."""
     rows = []
     claim = True
@@ -34,10 +34,9 @@ def run(degrees=(3, 4, 5, 6, 7, 8), measured_degrees=(3, 4, 5)) -> ExperimentRes
         measured_stretch = None
         measured_load = None
         if n in measured_degrees:
-            # Uniform mesh with side ceil(N^(1/(n-1))) in each of n-1 dimensions.
-            side = max(2, round(math.factorial(n) ** (1.0 / (n - 1))))
-            sim = UniformMeshSimulation(tuple(side for _ in range(n - 1)), n=n)
-            metrics = sim.measure()
+            # Uniform mesh with side round(N^(1/(n-1))) in each of n-1 dimensions.
+            metrics = measured_uniform_contraction(n)
+            side = metrics.uniform_sides[0]
             measured_stretch = metrics.max_edge_distance
             measured_load = metrics.max_load
             # The contraction's stretch must not exceed the diameter of D_n and the

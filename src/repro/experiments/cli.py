@@ -8,39 +8,35 @@ Usage
     Run the named experiments and print their tables; ``run all`` runs the
     whole registry (this is how EXPERIMENTS.md's measured columns were
     produced).
-``repro-star run all --fast``
-    Same, but with reduced problem sizes for a quick sanity pass.
+``repro-star run all --profile fast``
+    Same, but with a named parameter profile from the registry
+    (``default`` / ``fast`` / ``heavy``); ``--fast`` is shorthand for
+    ``--profile fast``.
+``repro-star run all --fast --json results.json``
+    Additionally archive the structured results (one JSON object per
+    experiment: id, profile, parameters, headers, rows, summary) to a file;
+    ``--json -`` writes the JSON to stdout instead of the text tables.
 
-The CLI writes plain text to stdout; redirect it to a file to archive a run.
+The exit code is non-zero when any executed experiment reports
+``claim_holds: false``, so both the text and the JSON mode are CI-checkable.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
-from repro.experiments.report import render_result
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    PROFILES,
+    get_spec,
+    list_experiments,
+)
+from repro.experiments.report import json_safe, render_result
 
 __all__ = ["main", "build_parser"]
-
-#: Reduced parameter sets used by ``--fast`` (keeps every experiment under a second).
-FAST_PARAMS = {
-    "FIG2": {"n": 4},
-    "FIG3": {"n": 4},
-    "TAB1": {"n": 5},
-    "LEM1": {"max_n": 6},
-    "LEM2": {"degrees": (3, 4)},
-    "THM4": {"degrees": (3, 4, 5)},
-    "THM6": {"degrees": (3, 4)},
-    "PROP-D": {"degrees": (3, 4), "fault_trials": 5},
-    "PROP-B": {"degrees": (3, 4)},
-    "THM9": {"degrees": (3, 4, 5, 6), "measured_degrees": (3, 4)},
-    "APP": {"degrees": (5, 6, 7)},
-    "CONC": {"degrees": (4,)},
-    "CMP": {"max_degree": 7, "embedding_degrees": (3, 4)},
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-star",
         description="Regenerate the figures, tables and claims of "
-        "'Embedding Meshes on the Star Graph' (Ranka, Wang, Yeh 1989).",
+        "'Embedding Meshes on the Star Graph' (Ranka, Wang & Yeh, "
+        "Supercomputing 1990).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -61,9 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment ids (see 'list') or 'all'",
     )
     run_parser.add_argument(
+        "--profile",
+        choices=PROFILES,
+        default=None,
+        help="named parameter profile from the registry (default: 'default')",
+    )
+    run_parser.add_argument(
         "--fast",
         action="store_true",
-        help="use reduced problem sizes (quick sanity pass)",
+        help="shorthand for --profile fast (reduced problem sizes)",
+    )
+    run_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write structured results as JSON to PATH ('-' for stdout, "
+        "replacing the text tables)",
     )
     return parser
 
@@ -75,22 +85,46 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "list":
         for experiment_id in list_experiments():
-            title = EXPERIMENTS[experiment_id].__module__.rsplit(".", 1)[-1]
-            print(f"{experiment_id:8s} {title}")
+            print(f"{experiment_id:8s} {EXPERIMENTS[experiment_id].title}")
         return 0
+
+    if args.profile and args.fast and args.profile != "fast":
+        parser.error("--fast conflicts with --profile " + args.profile)
+    profile = args.profile or ("fast" if args.fast else "default")
 
     requested = args.experiments
     if len(requested) == 1 and requested[0].lower() == "all":
         requested = list_experiments()
 
+    json_to_stdout = args.json == "-"
+    artifacts = []
     exit_code = 0
     for experiment_id in requested:
-        params = FAST_PARAMS.get(experiment_id.upper(), {}) if args.fast else {}
-        result = run_experiment(experiment_id, **params)
-        print(render_result(result))
-        print()
+        spec = get_spec(experiment_id)
+        params = spec.params(profile)
+        result = spec.run(**params)
+        if not json_to_stdout:
+            print(render_result(result))
+            print()
+        if args.json is not None:
+            artifacts.append(
+                {
+                    "profile": profile,
+                    "params": {key: json_safe(value) for key, value in params.items()},
+                    **result.to_dict(),
+                }
+            )
         if not result.summary.get("claim_holds", True):
             exit_code = 1
+
+    if args.json is not None:
+        payload = json.dumps(artifacts, indent=2)
+        if json_to_stdout:
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload)
+                handle.write("\n")
     return exit_code
 
 

@@ -1,14 +1,32 @@
 """Registry of all experiments.
 
 Maps the stable experiment identifiers used throughout DESIGN.md and
-EXPERIMENTS.md to the ``run`` callables of the experiment modules.  The CLI,
-the test-suite and the benchmark harness all go through this table, so adding
-an experiment in one place makes it visible everywhere.
+EXPERIMENTS.md to :class:`ExperimentSpec` entries -- title, ``run`` callable
+and the named parameter profiles (``default`` / ``fast`` / ``heavy``).  The
+CLI, the test-suite and the benchmark harness all go through this table, so
+adding an experiment in one place makes it visible everywhere.
+
+Profiles
+--------
+``default``
+    The ``run()`` defaults of each experiment module -- the sizes used to
+    produce EXPERIMENTS.md's measured columns (LEM1/THM4 sweep to degree 8,
+    PROP-D runs fault trials at degree 7: the vectorised topology services of
+    PR 3 keep all of them in seconds).
+``fast``
+    Reduced problem sizes for a quick sanity pass (``repro-star run all
+    --fast``, the CI smoke test); every experiment stays under a second.
+``heavy``
+    Larger sweeps for machines with time to spare; no experiment requires
+    more memory than the dense-table bound
+    (:data:`repro.permutations.ranking.MAX_TABLE_DEGREE`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Tuple
 
 from repro.exceptions import InvalidParameterError
 from repro.experiments.report import ExperimentResult
@@ -33,28 +51,174 @@ from repro.experiments.claims import (
     exp_unit_route_simulation,
 )
 
-__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment", "list_experiments"]
+__all__ = [
+    "PROFILES",
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "get_spec",
+    "get_experiment",
+    "run_experiment",
+    "list_experiments",
+]
 
 ExperimentFn = Callable[..., ExperimentResult]
 
-#: experiment id -> (title, run function)
-EXPERIMENTS: Dict[str, ExperimentFn] = {
-    "FIG2": figure2_star_graph.run,
-    "FIG3": figure3_mesh.run,
-    "FIG4": figure4_example_embedding.run,
-    "FIG5": figure5_6_conversions.run,
-    "FIG7": figure7_mapping_table.run,
-    "TAB1": table1_exchange_sequences.run,
-    "LEM1": exp_lemma1_no_dilation1.run,
-    "LEM2": exp_lemma2_transposition_distance.run,
-    "THM4": exp_dilation.run,
-    "THM6": exp_unit_route_simulation.run,
-    "PROP-D": exp_star_properties.run,
-    "PROP-B": exp_broadcast.run,
-    "THM9": exp_uniform_mesh.run,
-    "APP": exp_optimal_dimension.run,
-    "CONC": exp_sorting.run,
-    "CMP": exp_star_vs_hypercube.run,
+#: The named parameter profiles every spec carries.
+PROFILES: Tuple[str, ...] = ("default", "fast", "heavy")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registry entry: title, run function and parameter profiles."""
+
+    experiment_id: str
+    title: str
+    run: ExperimentFn
+    profiles: Mapping[str, Mapping[str, object]] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+
+    def params(self, profile: str = "default") -> Dict[str, object]:
+        """The parameter overrides of *profile* (``default`` is always ``{}``)."""
+        if profile not in PROFILES:
+            raise InvalidParameterError(
+                f"unknown profile {profile!r}; available: {', '.join(PROFILES)}"
+            )
+        return dict(self.profiles.get(profile, {}))
+
+
+def _spec(
+    experiment_id: str,
+    title: str,
+    run: ExperimentFn,
+    *,
+    fast: Dict[str, object] = None,
+    heavy: Dict[str, object] = None,
+) -> ExperimentSpec:
+    profiles = {}
+    if fast:
+        profiles["fast"] = MappingProxyType(fast)
+    if heavy:
+        profiles["heavy"] = MappingProxyType(heavy)
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        title=title,
+        run=run,
+        profiles=MappingProxyType(profiles),
+    )
+
+
+#: experiment id -> ExperimentSpec (title, run function, parameter profiles)
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.experiment_id: spec
+    for spec in (
+        _spec(
+            "FIG2",
+            "Figure 2: the star graphs S_3 and S_4",
+            figure2_star_graph.run,
+            fast={"n": 4},
+            heavy={"n": 5},
+        ),
+        _spec(
+            "FIG3",
+            "Figure 3: the 2*3*4 mesh D_4",
+            figure3_mesh.run,
+            fast={"n": 4},
+            heavy={"n": 5},
+        ),
+        _spec(
+            "FIG4",
+            "Figure 4: example embedding of the 4-cycle into K_{1,3}",
+            figure4_example_embedding.run,
+        ),
+        _spec(
+            "FIG5",
+            "Figures 5 & 6: CONVERT-D-S / CONVERT-S-D worked examples",
+            figure5_6_conversions.run,
+        ),
+        _spec(
+            "FIG7",
+            "Figure 7: mapping of V(D_4) into V(S_4)",
+            figure7_mapping_table.run,
+        ),
+        _spec(
+            "TAB1",
+            "Table 1: sequence of exchanges per mesh dimension",
+            table1_exchange_sequences.run,
+            fast={"n": 5},
+            heavy={"n": 7},
+        ),
+        _spec(
+            "LEM1",
+            "Lemma 1: no dilation-1 embedding of D_n in S_n for n > 2",
+            exp_lemma1_no_dilation1.run,
+            fast={"max_n": 6},
+            heavy={"max_n": 9},
+        ),
+        _spec(
+            "LEM2",
+            "Lemma 2: distance between pi and pi_(i,j) is 1 or 3",
+            exp_lemma2_transposition_distance.run,
+            fast={"degrees": (3, 4)},
+            heavy={"degrees": (3, 4, 5, 6, 7), "path_sample_nodes": 720},
+        ),
+        _spec(
+            "THM4",
+            "Theorem 4: dilation-3, expansion-1 embedding of D_n into S_n",
+            exp_dilation.run,
+            fast={"degrees": (3, 4, 5)},
+            heavy={"degrees": (3, 4, 5, 6, 7, 8, 9)},
+        ),
+        _spec(
+            "THM6",
+            "Lemma 5 / Theorem 6: mesh unit routes need <= 3 star unit routes",
+            exp_unit_route_simulation.run,
+            fast={"degrees": (3, 4)},
+            heavy={"degrees": (3, 4, 5, 6)},
+        ),
+        _spec(
+            "PROP-D",
+            "Section 2: star-graph properties (diameter, symmetry, faults)",
+            exp_star_properties.run,
+            fast={"degrees": (3, 4), "fault_trials": 5},
+            heavy={"degrees": (3, 4, 5, 6, 7, 8), "fault_trials": 40},
+        ),
+        _spec(
+            "PROP-B",
+            "Section 2: broadcasting vs the 3 n lg n bound",
+            exp_broadcast.run,
+            fast={"degrees": (3, 4)},
+            heavy={"degrees": (3, 4, 5, 6, 7)},
+        ),
+        _spec(
+            "THM9",
+            "Theorems 7-9: slowdown of uniform meshes on the star graph",
+            exp_uniform_mesh.run,
+            fast={"degrees": (3, 4, 5, 6), "measured_degrees": (3, 4)},
+            heavy={"degrees": (3, 4, 5, 6, 7, 8, 9, 10), "measured_degrees": (3, 4, 5, 6, 7)},
+        ),
+        _spec(
+            "APP",
+            "Appendix: reshaping D_n and the optimal simulation dimension",
+            exp_optimal_dimension.run,
+            fast={"degrees": (5, 6, 7)},
+            heavy={"degrees": (5, 6, 7, 8, 9, 10, 11, 12)},
+        ),
+        _spec(
+            "CONC",
+            "Conclusion: sorting on D_n natively and through the embedding",
+            exp_sorting.run,
+            fast={"degrees": (4,)},
+            heavy={"degrees": (4, 5, 6)},
+        ),
+        _spec(
+            "CMP",
+            "Introduction: star graph vs hypercube",
+            exp_star_vs_hypercube.run,
+            fast={"max_degree": 7, "embedding_degrees": (3, 4)},
+            heavy={"max_degree": 10, "embedding_degrees": (3, 4, 5, 6, 7)},
+        ),
+    )
 }
 
 
@@ -63,8 +227,8 @@ def list_experiments() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def get_experiment(experiment_id: str) -> ExperimentFn:
-    """Look up the run function for *experiment_id* (case-insensitive)."""
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Look up the :class:`ExperimentSpec` for *experiment_id* (case-insensitive)."""
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise InvalidParameterError(
@@ -73,6 +237,17 @@ def get_experiment(experiment_id: str) -> ExperimentFn:
     return EXPERIMENTS[key]
 
 
-def run_experiment(experiment_id: str, **params) -> ExperimentResult:
-    """Run one experiment by id and return its result."""
-    return get_experiment(experiment_id)(**params)
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    """Look up the run function for *experiment_id* (case-insensitive)."""
+    return get_spec(experiment_id).run
+
+
+def run_experiment(experiment_id: str, *, profile: str = "default", **params) -> ExperimentResult:
+    """Run one experiment by id with a profile's parameters and return its result.
+
+    Explicit keyword *params* override the profile's entries.
+    """
+    spec = get_spec(experiment_id)
+    merged = spec.params(profile)
+    merged.update(params)
+    return spec.run(**merged)

@@ -11,7 +11,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-__all__ = ["ExperimentResult", "format_table", "render_result"]
+__all__ = ["ExperimentResult", "format_table", "render_result", "json_safe"]
+
+
+def json_safe(value):
+    """Recursively convert *value* into plain JSON-serialisable types.
+
+    Experiment rows may hold NumPy scalars (from the vectorised services),
+    tuples and arbitrary cell objects; NumPy scalars unwrap via ``item()``,
+    tuples/lists/dicts recurse and anything non-primitive falls back to
+    ``str``.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            value = value.item()
+        except (TypeError, ValueError):  # pragma: no cover - exotic array cells
+            return str(value)
+    if isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(json_safe(k)): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return str(value)
 
 
 @dataclass
@@ -53,6 +77,17 @@ class ExperimentResult:
                 f"experiment {self.experiment_id} reports the paper claim does not hold: "
                 f"{self.summary!r}"
             )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view of the whole result (CLI ``--json`` artifact)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [json_safe(row) for row in self.rows],
+            "notes": list(self.notes),
+            "summary": json_safe(self.summary),
+        }
 
 
 def _format_cell(cell: object) -> str:

@@ -23,15 +23,22 @@ from repro.topology.hypercube import Hypercube
 from repro.topology.routing import (
     star_route,
     star_distance,
+    star_distances_between,
     mesh_route,
     mesh_distance,
     hypercube_route,
     hypercube_distance,
+    bfs_distances_from,
+    distance_matrix,
+    DistanceSummary,
+    distance_summary,
+    connected_under_alive_mask,
 )
 from repro.topology.nx_adapter import to_networkx, bfs_distances, bfs_eccentricity
 from repro.topology.properties import (
     is_vertex_transitive_sample,
     degree_histogram,
+    node_degrees,
     verify_regular,
     edge_count,
     connectivity_after_faults,
@@ -45,15 +52,22 @@ __all__ = [
     "Hypercube",
     "star_route",
     "star_distance",
+    "star_distances_between",
     "mesh_route",
     "mesh_distance",
     "hypercube_route",
     "hypercube_distance",
+    "bfs_distances_from",
+    "distance_matrix",
+    "DistanceSummary",
+    "distance_summary",
+    "connected_under_alive_mask",
     "to_networkx",
     "bfs_distances",
     "bfs_eccentricity",
     "is_vertex_transitive_sample",
     "degree_histogram",
+    "node_degrees",
     "verify_regular",
     "edge_count",
     "connectivity_after_faults",

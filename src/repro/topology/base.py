@@ -8,12 +8,24 @@ embedding layer, the SIMD simulator and the analysis experiments need:
 * local structure (``neighbors``, ``degree``),
 * metric structure (``distance``, ``shortest_path``, ``diameter``),
 * a stable dense integer id per node (``node_index`` / ``node_from_index``)
-  so simulators can use flat arrays.
+  so simulators can use flat arrays,
+* a dense adjacency index (``neighbor_index_table``) so whole-graph services
+  can run as array sweeps instead of per-node tuple walks.
 
 Concrete topologies override the analytic members (``distance``, ``diameter``)
 with closed forms where they exist; the base class provides BFS fallbacks so a
 new topology only has to implement ``nodes()`` and ``neighbors()`` to be fully
 functional (and testable against the optimised subclasses).
+
+The adjacency-index contract
+----------------------------
+``neighbor_index_table()`` returns a ``(num_nodes, max_degree)`` table whose
+row ``i`` lists ``node_index(neighbor)`` for every neighbour of
+``node_from_index(i)``, **in the same order as** ``neighbors()``, left-packed
+and padded with ``-1`` for nodes of smaller degree.  It is a NumPy ``int64``
+array (read-only) when NumPy is available and a list of ``array.array('q')``
+rows otherwise; either way it is cached per instance and shared by every
+vectorised service in :mod:`repro.topology.routing`.
 """
 
 from __future__ import annotations
@@ -24,9 +36,36 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import InvalidNodeError
 
+try:  # pragma: no cover - exercised indirectly on both branches
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes NumPy in
+    _np = None
+
 Node = Tuple[int, ...]
 
-__all__ = ["Topology", "Node"]
+__all__ = ["Topology", "Node", "pack_index_rows"]
+
+
+def pack_index_rows(rows: Iterable[Sequence[int]], width: int):
+    """Pack variable-length neighbour-index rows into the dense table format.
+
+    Each row is left-packed and padded with ``-1`` up to *width*.  Returns a
+    read-only NumPy ``int64`` array when NumPy is available, otherwise a list
+    of ``array.array('q')`` rows -- the two concrete representations of the
+    ``neighbor_index_table`` contract.
+    """
+    if _np is not None:
+        rows = list(rows)
+        table = _np.full((len(rows), width), -1, dtype=_np.int64)
+        for i, row in enumerate(rows):
+            if row:
+                table[i, : len(row)] = row
+        table.setflags(write=False)
+        return table
+
+    from array import array as _array
+
+    return [_array("q", list(row) + [-1] * (width - len(row))) for row in rows]
 
 
 class Topology(ABC):
@@ -92,6 +131,15 @@ class Topology(ABC):
         """True if *u* and *v* are adjacent."""
         u = self.validate_node(u)
         v = self.validate_node(v)
+        return self._adjacent(u, v)
+
+    def _adjacent(self, u: Node, v: Node) -> bool:
+        """Adjacency of two *already validated* nodes.
+
+        Hot path of embedding-path validation; subclasses override with a
+        closed form (Manhattan/Hamming distance 1, star generator shape)
+        instead of materialising the neighbour list.
+        """
         return v in self.neighbors(u)
 
     # ------------------------------------------------------------ node index
@@ -127,10 +175,58 @@ class Topology(ABC):
             setattr(self, "_cached_order_table", cached)
         return cached
 
+    # -------------------------------------------------------- adjacency index
+    def neighbor_index_table(self):
+        """The dense adjacency index: a ``(num_nodes, max_degree)`` table.
+
+        Row ``i`` lists the ``node_index`` of every neighbour of
+        ``node_from_index(i)`` in ``neighbors()`` order, left-packed and
+        padded with ``-1``.  Cached per instance; NumPy ``int64`` (read-only)
+        when NumPy is available, else a list of ``array.array('q')`` rows.
+
+        Subclasses with closed-form adjacency override
+        :meth:`_build_neighbor_index_table`; the base implementation walks
+        ``nodes()``/``neighbors()`` once through the canonical node order.
+        """
+        cached = getattr(self, "_cached_neighbor_index_table", None)
+        if cached is None:
+            cached = self._build_neighbor_index_table()
+            setattr(self, "_cached_neighbor_index_table", cached)
+        return cached
+
+    def _build_neighbor_index_table(self):
+        index_of = {node: i for i, node in enumerate(self.nodes())}
+        rows: List[List[int]] = [
+            [index_of[neighbor] for neighbor in self.neighbors(node)]
+            for node in self.nodes()
+        ]
+        width = max((len(row) for row in rows), default=0)
+        return pack_index_rows(rows, width)
+
     # ---------------------------------------------------------------- metric
     def distance(self, u: Node, v: Node) -> int:
-        """Length of a shortest path between *u* and *v* (BFS fallback)."""
-        return len(self.shortest_path(u, v)) - 1
+        """Length of a shortest path between *u* and *v* (BFS fallback).
+
+        The BFS stops as soon as *v* is discovered; no path is materialised
+        (use :meth:`shortest_path` when the nodes themselves are needed).
+        """
+        u = self.validate_node(u)
+        v = self.validate_node(v)
+        if u == v:
+            return 0
+        depth = {u: 0}
+        queue = deque([u])
+        while queue:
+            current = queue.popleft()
+            next_depth = depth[current] + 1
+            for neighbor in self.neighbors(current):
+                if neighbor in depth:
+                    continue
+                if neighbor == v:
+                    return next_depth
+                depth[neighbor] = next_depth
+                queue.append(neighbor)
+        raise InvalidNodeError(f"no path between {u!r} and {v!r}")  # pragma: no cover
 
     def shortest_path(self, u: Node, v: Node) -> List[Node]:
         """A shortest path from *u* to *v* including both endpoints (BFS fallback)."""
@@ -163,26 +259,37 @@ class Topology(ABC):
         distances = self._bfs_distances(node)
         return max(distances.values())
 
+    def _distance_totals(self) -> Tuple[int, float]:
+        """``(diameter, average_distance)`` from one distance sweep per source.
+
+        Cached per instance so requesting both metrics costs a single pass.
+        Uses the vectorised index-table sweep of
+        :func:`repro.topology.routing.distance_summary` (which itself falls
+        back to the dict BFS when NumPy is unavailable).
+        """
+        cached = getattr(self, "_cached_distance_totals", None)
+        if cached is None:
+            from repro.topology.routing import distance_summary
+
+            summary = distance_summary(self)
+            cached = (summary.diameter, summary.average_distance)
+            setattr(self, "_cached_distance_totals", cached)
+        return cached
+
     def diameter(self) -> int:
         """Greatest eccentricity over all nodes.
 
-        The base implementation runs a BFS from every node; subclasses with a
-        closed form override it.  Vertex-transitive topologies can override
-        with a single-source eccentricity.
+        The base implementation sweeps every source once (shared with
+        :meth:`average_distance`); subclasses with a closed form override it.
         """
-        return max(self.eccentricity(node) for node in self.nodes())
+        return self._distance_totals()[0]
 
     def average_distance(self) -> float:
-        """Mean pairwise distance over ordered pairs of distinct nodes."""
-        total = 0
-        pairs = 0
-        for node in self.nodes():
-            distances = self._bfs_distances(node)
-            for other, d in distances.items():
-                if other != node:
-                    total += d
-                    pairs += 1
-        return total / pairs if pairs else 0.0
+        """Mean pairwise distance over ordered pairs of distinct nodes.
+
+        Shares its all-sources distance sweep with :meth:`diameter`.
+        """
+        return self._distance_totals()[1]
 
     def _bfs_distances(self, source: Node) -> Dict[Node, int]:
         distances = {source: 0}

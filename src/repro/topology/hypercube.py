@@ -86,10 +86,31 @@ class Hypercube(Topology):
         bits[dim] ^= 1
         return tuple(bits)
 
+    def _adjacent(self, u: Node, v: Node) -> bool:
+        """Closed form: Hamming distance 1."""
+        return sum(a != b for a, b in zip(u, v)) == 1
+
     @property
     def num_edges(self) -> int:
         """``n * 2**(n-1)`` edges."""
         return self._n * (1 << (self._n - 1))
+
+    # -------------------------------------------------------- adjacency index
+    def _build_neighbor_index_table(self):
+        """Closed-form adjacency index: column ``dim`` is ``index XOR 2**dim``.
+
+        Matches the :meth:`neighbors` order (flip bit 0, bit 1, ...); the
+        graph is regular so no padding appears.
+        """
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - NumPy absent
+            return super()._build_neighbor_index_table()
+
+        indices = np.arange(self.num_nodes, dtype=np.int64)
+        table = np.stack([indices ^ (1 << dim) for dim in range(self._n)], axis=1)
+        table.setflags(write=False)
+        return table
 
     # --------------------------------------------------------------- indexing
     def node_index(self, node: Node) -> int:

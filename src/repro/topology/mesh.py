@@ -143,6 +143,10 @@ class Mesh(Topology):
         coords[dim] = value
         return tuple(coords)
 
+    def _adjacent(self, u: Node, v: Node) -> bool:
+        """Closed form: exactly one coordinate differs, by exactly 1."""
+        return [abs(a - b) for a, b in zip(u, v) if a != b] == [1]
+
     @property
     def num_edges(self) -> int:
         """Closed form: sum over dimensions of ``(side - 1) * product(other sides)``."""
@@ -151,6 +155,62 @@ class Mesh(Topology):
             others = math.prod(s for d, s in enumerate(self._sides) if d != dim)
             total += (side - 1) * others
         return total
+
+    # -------------------------------------------------------- adjacency index
+    def index_weights(self) -> Tuple[int, ...]:
+        """Row-major linearisation weight of each dimension (most significant first)."""
+        return self._radix.weights
+
+    def dimension_edge_indices(self):
+        """Yield ``(dim, u_indices, v_indices)`` for every mesh dimension.
+
+        ``u_indices``/``v_indices`` are the row-major node indices of all
+        ``+1`` edges along *dim* (``v = u + weight``), as NumPy ``int64``
+        arrays -- the shared edge enumeration behind the batched embedding
+        kernel and the vectorised contraction measurement.  Requires NumPy.
+        """
+        import numpy as np
+
+        weights = self.index_weights()
+        indices = np.arange(self.num_nodes, dtype=np.int64)
+        for dim, side in enumerate(self._sides):
+            weight = weights[dim]
+            coord = (indices // weight) % side
+            has_neighbor = coord < side - 1
+            u_indices = indices[has_neighbor]
+            yield dim, u_indices, u_indices + weight
+
+    def _build_neighbor_index_table(self):
+        """Closed-form adjacency index from coordinate arithmetic.
+
+        For each dimension the +-1 neighbour of node ``i`` is ``i -+ weight``
+        whenever the coordinate stays inside the box; rows keep the
+        ``neighbors()`` order (per dimension: ``-1`` then ``+1``) left-packed
+        with ``-1`` padding -- no coordinate tuples are materialised.
+        """
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - NumPy absent
+            return super()._build_neighbor_index_table()
+
+        weights = self.index_weights()
+        indices = np.arange(self.num_nodes, dtype=np.int64)
+        columns = []
+        for dim, side in enumerate(self._sides):
+            weight = weights[dim]
+            coord = (indices // weight) % side
+            for delta in (-1, +1):
+                inside = (coord + delta >= 0) & (coord + delta < side)
+                columns.append(np.where(inside, indices + delta * weight, -1))
+        table = np.stack(columns, axis=1)
+        # Left-pack the valid entries of each row, preserving their order.
+        invalid = table < 0
+        order = np.argsort(invalid, axis=1, kind="stable")
+        table = np.take_along_axis(table, order, axis=1)
+        width = int((~invalid).sum(axis=1).max(initial=0))
+        table = np.ascontiguousarray(table[:, :width])
+        table.setflags(write=False)
+        return table
 
     # --------------------------------------------------------------- indexing
     def node_index(self, node: Node) -> int:

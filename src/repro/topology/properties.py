@@ -4,6 +4,15 @@ These functions verify, on concrete instances, the star-graph properties the
 paper quotes from Akers & Krishnamurthy in Section 2 (regularity, vertex
 symmetry, maximal fault tolerance) as well as generic sanity checks used by
 the test-suite and the experiments.
+
+All checks run over the dense adjacency index
+(:meth:`repro.topology.base.Topology.neighbor_index_table`) -- degree counts
+are one array reduction, eccentricities one frontier sweep and fault
+connectivity one alive-mask flood -- instead of walking tuple neighbour lists
+per node.  The dict/tuple BFS implementations are retained as the parity
+references (``connectivity_after_faults_reference``,
+``Topology._bfs_distances``); the tests in
+``tests/topology/test_index_services.py`` hold the two bit-identical.
 """
 
 from __future__ import annotations
@@ -14,32 +23,65 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import InvalidParameterError
 from repro.topology.base import Node, Topology
+from repro.topology.routing import bfs_distances_from, connected_under_alive_mask
+
+try:  # pragma: no cover - exercised indirectly on both branches
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes NumPy in
+    _np = None
 
 __all__ = [
     "degree_histogram",
+    "node_degrees",
     "verify_regular",
     "edge_count",
     "is_vertex_transitive_sample",
     "connectivity_after_faults",
+    "connectivity_after_faults_reference",
 ]
+
+
+def node_degrees(topology: Topology):
+    """Per-node degrees indexed by ``node_index`` (one pass over the table).
+
+    Returns a NumPy ``int64`` array when NumPy is available, else a list.
+    """
+    table = topology.neighbor_index_table()
+    if _np is not None:
+        return (table >= 0).sum(axis=1, dtype=_np.int64)
+    return [sum(1 for entry in row if entry >= 0) for row in table]
 
 
 def degree_histogram(topology: Topology) -> Dict[int, int]:
     """Map ``degree -> number of nodes with that degree``."""
-    counter: Counter = Counter()
-    for node in topology.nodes():
-        counter[topology.degree(node)] += 1
-    return dict(counter)
+    degrees = node_degrees(topology)
+    if _np is not None:
+        counts = _np.bincount(degrees)
+        return {int(d): int(c) for d, c in enumerate(counts) if c}
+    return dict(Counter(degrees))
 
 
 def verify_regular(topology: Topology, expected_degree: int) -> bool:
     """True if every node has exactly *expected_degree* neighbours."""
-    return all(topology.degree(node) == expected_degree for node in topology.nodes())
+    degrees = node_degrees(topology)
+    if _np is not None:
+        return bool((degrees == expected_degree).all())
+    return all(degree == expected_degree for degree in degrees)
 
 
 def edge_count(topology: Topology) -> int:
-    """Number of undirected edges counted by enumeration (oracle for closed forms)."""
-    return sum(len(topology.neighbors(node)) for node in topology.nodes()) // 2
+    """Number of undirected edges, as half the degree sum over the index table.
+
+    Its independence from the ``num_edges`` closed forms rests on the
+    table-vs-``neighbors()`` round-trip parity tests
+    (``tests/topology/test_index_services.py``): the table is built from
+    closed-form adjacency on the concrete topologies, and those tests are
+    what tie it back to actual neighbour enumeration.
+    """
+    degrees = node_degrees(topology)
+    if _np is not None:
+        return int(degrees.sum()) // 2
+    return sum(degrees) // 2
 
 
 def is_vertex_transitive_sample(
@@ -58,24 +100,31 @@ def is_vertex_transitive_sample(
     ``True`` is strong evidence but not a proof.
     """
     generator = rng if rng is not None else random.Random(0)
-    all_nodes = list(topology.nodes())
-    if not all_nodes:
+    num_nodes = topology.num_nodes
+    if not num_nodes:
         raise InvalidParameterError("topology has no nodes")
-    chosen = [all_nodes[0]]
-    if len(all_nodes) > 1:
-        chosen += generator.sample(all_nodes[1:], min(samples, len(all_nodes) - 1))
-    reference_degree = topology.degree(chosen[0])
-    reference_ecc = _bfs_eccentricity(topology, chosen[0])
-    for node in chosen[1:]:
-        if topology.degree(node) != reference_degree:
+    chosen = [0]
+    if num_nodes > 1:
+        chosen += generator.sample(range(1, num_nodes), min(samples, num_nodes - 1))
+    degrees = node_degrees(topology)
+    reference_degree = int(degrees[chosen[0]])
+    reference_ecc = _index_eccentricity(topology, chosen[0])
+    for index in chosen[1:]:
+        if int(degrees[index]) != reference_degree:
             return False
-        if _bfs_eccentricity(topology, node) != reference_ecc:
+        if _index_eccentricity(topology, index) != reference_ecc:
             return False
     return True
 
 
-def _bfs_eccentricity(topology: Topology, source: Node) -> int:
-    return max(topology._bfs_distances(source).values())  # noqa: SLF001 - internal oracle
+def _index_eccentricity(topology: Topology, index: int) -> int:
+    """Eccentricity of the node at *index* via one BFS frontier sweep."""
+    distances = bfs_distances_from(
+        topology, topology.node_from_index(index), use_closed_form=False
+    )
+    if _np is not None:
+        return int(_np.asarray(distances).max())
+    return max(distances)
 
 
 def connectivity_after_faults(
@@ -87,6 +136,37 @@ def connectivity_after_faults(
     Used by the fault-tolerance experiment: the star graph ``S_n`` tolerates
     any ``n - 2`` node faults (maximal fault tolerance), so removing up to
     ``n - 2`` arbitrary nodes must never disconnect it.
+
+    The flood fill runs over the adjacency index with a boolean alive mask
+    (:func:`repro.topology.routing.connected_under_alive_mask`); the original
+    dict-of-tuples BFS is retained as
+    :func:`connectivity_after_faults_reference` and the parity tests hold the
+    two identical.
+    """
+    # Foreign fault nodes are silently ignored, matching the reference (a
+    # fault outside the graph removes nothing).
+    faulty_indices = {
+        topology.node_index(node)
+        for node in (tuple(fault) for fault in faulty_nodes)
+        if topology.is_node(node)
+    }
+    num_nodes = topology.num_nodes
+    if _np is not None:
+        alive = _np.ones(num_nodes, dtype=bool)
+        if faulty_indices:
+            alive[_np.fromiter(faulty_indices, dtype=_np.int64)] = False
+    else:
+        alive = [index not in faulty_indices for index in range(num_nodes)]
+    return connected_under_alive_mask(topology, alive)
+
+
+def connectivity_after_faults_reference(
+    topology: Topology,
+    faulty_nodes: Iterable[Node],
+) -> bool:
+    """Dict/tuple reference for :func:`connectivity_after_faults` (seed code).
+
+    Kept as the parity oracle for the alive-mask flood fill.
     """
     faulty = {tuple(node) for node in faulty_nodes}
     remaining = [node for node in topology.nodes() if node not in faulty]

@@ -22,26 +22,48 @@ Hypercube
 ---------
 E-cube routing (correct differing bits from the lowest dimension up); distance
 is the Hamming distance.
+
+Whole-graph index services
+--------------------------
+On top of the point-to-point closed forms this module hosts the vectorised
+whole-graph services of the adjacency-index backend (PR 3): frontier-sweep BFS
+over ``Topology.neighbor_index_table()`` (:func:`bfs_distances_from`,
+:func:`distance_matrix`, :func:`distance_summary`), alive-mask connectivity
+(:func:`connected_under_alive_mask`) and batched pairwise star distances
+(:func:`star_distances_between`).  Every service is bit-identical to the
+retained tuple/dict BFS references (see ``tests/topology/test_index_services``)
+and falls back to pure-Python sweeps when NumPy is unavailable.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 from repro.exceptions import InvalidParameterError
 from repro.permutations.permutation import is_permutation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.topology.base import Topology
 
 Node = Tuple[int, ...]
 
 __all__ = [
     "star_distance",
     "star_distances_from",
+    "star_distances_between",
     "star_route",
     "star_distance_profile",
     "mesh_distance",
     "mesh_route",
     "hypercube_distance",
     "hypercube_route",
+    "bfs_distances_from",
+    "distance_matrix",
+    "DistanceSummary",
+    "distance_summary",
+    "connected_under_alive_mask",
 ]
 
 try:  # pragma: no cover - exercised indirectly on both branches
@@ -140,24 +162,7 @@ def star_distances_from(origin: Sequence[int]):
         perms = all_permutations_array(n)
         positions = _np.argsort(perms, axis=1)  # positions[r, s] = index of s in row r
         mapping = positions[:, list(source)].astype(_np.int64)
-        idx = _np.arange(n, dtype=_np.int64)
-        displaced = mapping != idx
-        num_displaced = displaced.sum(axis=1, dtype=_np.int64)
-
-        # Cycle minima by pointer doubling: `minima[r, p]` covers a window of
-        # `span` orbit nodes starting at p, and `ptr` jumps `span` steps, so
-        # combining the window at p with the window at ptr[p] doubles the
-        # coverage; log2(n) rounds cover every cycle.
-        minima = _np.minimum(idx, mapping)
-        ptr = _np.take_along_axis(mapping, mapping, axis=1)
-        span = 2
-        while span < n:
-            minima = _np.minimum(minima, _np.take_along_axis(minima, ptr, axis=1))
-            ptr = _np.take_along_axis(ptr, ptr, axis=1)
-            span *= 2
-        leaders = (minima == idx) & displaced
-        num_cycles = leaders.sum(axis=1, dtype=_np.int64)
-        return num_displaced + num_cycles - 2 * (mapping[:, 0] != 0)
+        return _cycle_structure_distances(mapping)
 
     from itertools import permutations as _perms
 
@@ -167,19 +172,94 @@ def star_distances_from(origin: Sequence[int]):
         for p, symbol in enumerate(target):
             position[symbol] = p
         mapping = [position[source[p]] for p in range(n)]
-        total = 0
-        seen = [False] * n
-        for start in range(n):
-            if seen[start] or mapping[start] == start:
-                continue
-            length = 0
-            cursor = start
-            while not seen[cursor]:
-                seen[cursor] = True
-                length += 1
-                cursor = mapping[cursor]
-            total += length - 1 if start == 0 else length + 1
-        distances.append(total)
+        distances.append(_cycle_distance_of_mapping(mapping))
+    return distances
+
+
+def _cycle_structure_distances(mapping):
+    """Vectorised ``d = m + c - 2*[position 0 displaced]`` over mapping rows.
+
+    Row ``r`` of *mapping* is the relative position permutation of one
+    (source, target) pair; the non-trivial-cycle count comes from
+    pointer-doubling cycle-minima: ``minima[r, p]`` covers a window of ``span``
+    orbit nodes starting at ``p`` and ``ptr`` jumps ``span`` steps, so
+    combining the window at ``p`` with the window at ``ptr[p]`` doubles the
+    coverage -- log2(n) rounds cover every cycle, and each cycle is counted
+    once (at its minimum).
+    """
+    n = mapping.shape[1]
+    idx = _np.arange(n, dtype=_np.int64)
+    displaced = mapping != idx
+    num_displaced = displaced.sum(axis=1, dtype=_np.int64)
+    minima = _np.minimum(idx, mapping)
+    ptr = _np.take_along_axis(mapping, mapping, axis=1)
+    span = 2
+    while span < n:
+        minima = _np.minimum(minima, _np.take_along_axis(minima, ptr, axis=1))
+        ptr = _np.take_along_axis(ptr, ptr, axis=1)
+        span *= 2
+    leaders = (minima == idx) & displaced
+    num_cycles = leaders.sum(axis=1, dtype=_np.int64)
+    return num_displaced + num_cycles - 2 * (mapping[:, 0] != 0)
+
+
+def _cycle_distance_of_mapping(mapping: Sequence[int]) -> int:
+    """Scalar cycle-structure distance of one relative position permutation."""
+    total = 0
+    n = len(mapping)
+    seen = [False] * n
+    for start in range(n):
+        if seen[start] or mapping[start] == start:
+            continue
+        length = 0
+        cursor = start
+        while not seen[cursor]:
+            seen[cursor] = True
+            length += 1
+            cursor = mapping[cursor]
+        total += length - 1 if start == 0 else length + 1
+    return total
+
+
+def star_distances_between(sources, targets):
+    """Batched star distances between row-aligned permutation arrays.
+
+    ``sources`` and ``targets`` are ``(m, n)`` batches (NumPy arrays or
+    sequences of tuples); entry ``r`` of the result is
+    ``star_distance(sources[r], targets[r])`` evaluated through the
+    cycle-structure closed form in one vectorised sweep.  Rows are not
+    re-validated (fast-core helper, like
+    :func:`repro.permutations.ranking.ranks_of`).  Returns a NumPy ``int64``
+    array when NumPy is available, else a list.
+    """
+    if _np is not None:
+        source_rows = _np.asarray(sources)
+        target_rows = _np.asarray(targets)
+        if source_rows.ndim != 2 or source_rows.shape != target_rows.shape:
+            raise InvalidParameterError(
+                "star_distances_between expects two equal-shape (m, n) batches"
+            )
+        positions = _np.argsort(target_rows, axis=1)
+        mapping = _np.take_along_axis(
+            positions, source_rows.astype(_np.int64), axis=1
+        )
+        return _cycle_structure_distances(mapping)
+
+    sources = list(sources)
+    targets = list(targets)
+    if len(sources) != len(targets) or any(
+        len(source) != len(target) for source, target in zip(sources, targets)
+    ):
+        raise InvalidParameterError(
+            "star_distances_between expects two equal-shape (m, n) batches"
+        )
+    distances: List[int] = []
+    for source, target in zip(sources, targets):
+        n = len(source)
+        position = [0] * n
+        for p, symbol in enumerate(target):
+            position[symbol] = p
+        distances.append(_cycle_distance_of_mapping([position[s] for s in source]))
     return distances
 
 
@@ -277,3 +357,179 @@ def hypercube_route(source: Sequence[int], target: Sequence[int]) -> List[Node]:
             current[dim] = target[dim]
             path.append(tuple(current))
     return path
+
+
+# ------------------------------------------------------ whole-graph services
+def _is_star(topology: "Topology") -> bool:
+    from repro.topology.star import StarGraph
+
+    return isinstance(topology, StarGraph)
+
+
+def _index_sweep_from(topology: "Topology", origin_index: int):
+    """Single-source BFS as a frontier sweep over the adjacency index table.
+
+    Returns distances indexed by node index; unreachable nodes hold ``-1``.
+    NumPy ``int64`` array when NumPy is available, else a list of ints.
+    """
+    table = topology.neighbor_index_table()
+    num_nodes = topology.num_nodes
+    if _np is not None:
+        distances = _np.full(num_nodes, -1, dtype=_np.int64)
+        distances[origin_index] = 0
+        frontier = _np.array([origin_index], dtype=_np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            candidates = table[frontier].reshape(-1)
+            candidates = candidates[candidates >= 0]
+            candidates = candidates[distances[candidates] < 0]
+            if candidates.size == 0:
+                break
+            distances[candidates] = level
+            frontier = _np.unique(candidates)
+        return distances
+
+    distances = [-1] * num_nodes
+    distances[origin_index] = 0
+    queue = deque([origin_index])
+    while queue:
+        current = queue.popleft()
+        next_level = distances[current] + 1
+        for neighbor in table[current]:
+            if neighbor >= 0 and distances[neighbor] < 0:
+                distances[neighbor] = next_level
+                queue.append(neighbor)
+    return distances
+
+
+def bfs_distances_from(topology: "Topology", origin, *, use_closed_form: bool = True):
+    """Distances from *origin* to every node, indexed by ``node_index``.
+
+    One whole-graph sweep over ``topology.neighbor_index_table()``: entry
+    ``i`` of the result is ``distance(origin, node_from_index(i))`` and
+    unreachable nodes hold ``-1``.  For the star graph the cycle-structure
+    closed form (:func:`star_distances_from`) answers in one vectorised pass
+    without any sweep; pass ``use_closed_form=False`` to force the BFS sweep
+    (e.g. when the BFS itself is the measurement, as in the PROP-D diameter
+    check).  Returns a NumPy ``int64`` array when NumPy is available, else a
+    list.
+    """
+    origin = topology.validate_node(origin)
+    if use_closed_form and _is_star(topology):
+        return topology.distances_from(origin)
+    return _index_sweep_from(topology, topology.node_index(origin))
+
+
+def distance_matrix(topology: "Topology", *, use_closed_form: bool = True):
+    """The full ``(num_nodes, num_nodes)`` distance matrix, index-ordered.
+
+    Row ``i`` is :func:`bfs_distances_from` of ``node_from_index(i)``.  Only
+    sensible for topologies whose node count squared fits in memory.
+    """
+    rows = [
+        bfs_distances_from(
+            topology, topology.node_from_index(i), use_closed_form=use_closed_form
+        )
+        for i in range(topology.num_nodes)
+    ]
+    if _np is not None:
+        return _np.stack([_np.asarray(row, dtype=_np.int64) for row in rows])
+    return rows
+
+
+@dataclass(frozen=True)
+class DistanceSummary:
+    """Whole-graph metric aggregates from one distance sweep per source."""
+
+    diameter: int
+    average_distance: float
+    num_nodes: int
+    connected: bool
+
+
+def distance_summary(topology: "Topology", *, use_closed_form: bool = True) -> DistanceSummary:
+    """Diameter and average distance in a single pass over all sources.
+
+    Each source contributes one index sweep (or one closed-form evaluation
+    for the star graph); the maximum and the running sum are folded on the
+    fly, so no distance matrix is materialised.
+    """
+    diameter = 0
+    total = 0
+    pairs = 0
+    connected = True
+    num_nodes = topology.num_nodes
+    for index in range(num_nodes):
+        row = bfs_distances_from(
+            topology, topology.node_from_index(index), use_closed_form=use_closed_form
+        )
+        if _np is not None:
+            row = _np.asarray(row)
+            if (row < 0).any():
+                connected = False
+                row = row[row >= 0]
+            diameter = max(diameter, int(row.max(initial=0)))
+            total += int(row.sum())
+            pairs += int(row.size) - 1
+        else:
+            reachable = [d for d in row if d >= 0]
+            if len(reachable) != num_nodes:
+                connected = False
+            diameter = max(diameter, max(reachable, default=0))
+            total += sum(reachable)
+            pairs += len(reachable) - 1
+    return DistanceSummary(
+        diameter=diameter,
+        average_distance=total / pairs if pairs > 0 else 0.0,
+        num_nodes=num_nodes,
+        connected=connected,
+    )
+
+
+def connected_under_alive_mask(topology: "Topology", alive) -> bool:
+    """True if the subgraph induced by the alive nodes is connected.
+
+    *alive* is a boolean mask indexed by ``node_index`` (NumPy array or any
+    sequence of booleans).  The flood fill runs as frontier gathers over the
+    adjacency index table -- no tuple sets are built.  An empty alive set is
+    not connected (matching the dict reference in
+    :func:`repro.topology.properties.connectivity_after_faults_reference`).
+    """
+    table = topology.neighbor_index_table()
+    if _np is not None:
+        alive_mask = _np.asarray(alive, dtype=bool)
+        alive_indices = _np.flatnonzero(alive_mask)
+        if alive_indices.size == 0:
+            return False
+        seen = _np.zeros(topology.num_nodes, dtype=bool)
+        start = int(alive_indices[0])
+        seen[start] = True
+        frontier = _np.array([start], dtype=_np.int64)
+        while frontier.size:
+            candidates = table[frontier].reshape(-1)
+            candidates = candidates[candidates >= 0]
+            candidates = candidates[alive_mask[candidates] & ~seen[candidates]]
+            if candidates.size == 0:
+                break
+            seen[candidates] = True
+            frontier = _np.unique(candidates)
+        return int(seen.sum()) == int(alive_indices.size)
+
+    alive_list = [bool(flag) for flag in alive]
+    try:
+        start = alive_list.index(True)
+    except ValueError:
+        return False
+    seen = [False] * topology.num_nodes
+    seen[start] = True
+    reached = 1
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        for neighbor in table[current]:
+            if neighbor >= 0 and alive_list[neighbor] and not seen[neighbor]:
+                seen[neighbor] = True
+                reached += 1
+                queue.append(neighbor)
+    return reached == sum(alive_list)

@@ -101,6 +101,19 @@ class StarGraph(Topology):
         node = self.validate_node(node)
         return star_neighbors(node)
 
+    def _adjacent(self, u: Node, v: Node) -> bool:
+        """Closed form: adjacent iff the tuples differ exactly at positions 0
+        and some ``j`` with the two symbols exchanged (no neighbour list)."""
+        if u[0] == v[0]:
+            return False
+        j = 0
+        for p in range(1, self._n):
+            if u[p] != v[p]:
+                if j:
+                    return False
+                j = p
+        return j != 0 and u[0] == v[j] and v[0] == u[j]
+
     def neighbor_along(self, node: Node, j: int) -> Node:
         """Apply generator ``g_j`` (exchange tuple positions 0 and ``j``).
 
@@ -153,6 +166,28 @@ class StarGraph(Topology):
         return permutation_unrank(index, self._n)
 
     # ------------------------------------------------------------- fast core
+    def _build_neighbor_index_table(self):
+        """Closed-form adjacency index: the generator move tables as columns.
+
+        Column ``j - 1`` of the ``(n!, n - 1)`` table is ``move_tables()[j-1]``,
+        so row ``rank`` lists the neighbour ranks along ``g_1 .. g_{n-1}`` --
+        exactly the order of :meth:`neighbors`.  The graph is regular, so no
+        ``-1`` padding ever appears.
+        """
+        tables = move_tables(self._n)
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - NumPy absent
+            from array import array as _array
+
+            return [
+                _array("q", (table[rank] for table in tables))
+                for rank in range(self.num_nodes)
+            ]
+        table = np.column_stack(tables).astype(np.int64, copy=False)
+        table.setflags(write=False)
+        return table
+
     def move_tables(self) -> Tuple:
         """The per-degree generator move tables (cached, shared across instances).
 

@@ -72,6 +72,11 @@ class MixedRadix:
         return self._radices
 
     @property
+    def weights(self) -> Tuple[int, ...]:
+        """Linearisation weight of each digit (most significant first)."""
+        return self._weights
+
+    @property
     def ndigits(self) -> int:
         """Number of digits in the system."""
         return len(self._radices)

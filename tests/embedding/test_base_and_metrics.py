@@ -144,3 +144,75 @@ class TestMetrics:
         embedding = Embedding(guest, host, {(0,): (0, 0), (1,): (1, 0), (2,): (1, 1)})
         metrics = measure_embedding(embedding)
         assert metrics.expansion == pytest.approx(4 / 3)
+
+
+class TestBatchedMeasurementParity:
+    """PR-3 facade contract: the move-table batched kernel (mesh-to-star) and
+    the bincount generic path must match the per-path Counter reference."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_mesh_to_star_fast_kernel_matches_reference(self, n):
+        from repro.embedding.mesh_to_star import MeshToStarEmbedding
+        from repro.embedding.metrics import measure_embedding_reference
+
+        fast = measure_embedding(MeshToStarEmbedding(n))
+        reference = measure_embedding_reference(MeshToStarEmbedding(n))
+        assert fast == reference
+
+    def test_generic_bincount_path_matches_reference(self, line_in_cube):
+        from repro.embedding.metrics import measure_embedding_reference
+
+        assert measure_embedding(line_in_cube) == measure_embedding_reference(line_in_cube)
+
+    def test_hypercube_embedding_matches_reference(self):
+        from repro.embedding.mesh_to_hypercube import MeshToHypercubeEmbedding
+        from repro.embedding.metrics import measure_embedding_reference
+        from repro.topology.mesh import paper_mesh
+
+        embedding = MeshToHypercubeEmbedding(paper_mesh(4))
+        reference = measure_embedding_reference(MeshToHypercubeEmbedding(paper_mesh(4)))
+        assert measure_embedding(embedding) == reference
+
+    def test_rank_vertex_map_matches_map_node(self):
+        from repro.embedding.mesh_to_star import MeshToStarEmbedding
+        from repro.permutations.ranking import permutation_rank
+
+        embedding = MeshToStarEmbedding(4)
+        ranks = embedding.rank_vertex_map()
+        for index, coords in enumerate(embedding.guest.nodes()):
+            assert int(ranks[index]) == permutation_rank(embedding.map_node(coords))
+
+    def test_fast_verifier_rejects_corrupted_vertex_map(self):
+        numpy = pytest.importorskip("numpy")
+        from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+        embedding = MeshToStarEmbedding(4)
+        ranks = numpy.array(embedding.rank_vertex_map()).copy()
+        ranks[1] = ranks[0]  # duplicate image: not injective
+        embedding._cached_rank_vertex_map = ranks
+        with pytest.raises(EmbeddingError):
+            verify_embedding(embedding)
+
+    def test_fast_verifier_rejects_out_of_range_ranks(self):
+        numpy = pytest.importorskip("numpy")
+        from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+        embedding = MeshToStarEmbedding(4)
+        ranks = numpy.array(embedding.rank_vertex_map()).copy()
+        ranks[1] = embedding.star.num_nodes  # image outside the host graph
+        embedding._cached_rank_vertex_map = ranks
+        with pytest.raises(EmbeddingError):
+            verify_embedding(embedding)
+
+    def test_fast_verifier_rejects_disconnected_paths(self):
+        numpy = pytest.importorskip("numpy")
+        from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+        embedding = MeshToStarEmbedding(4)
+        ranks = numpy.array(embedding.rank_vertex_map()).copy()
+        # Swap two images: still injective, but the canonical paths no longer
+        # connect the right endpoints.
+        ranks[0], ranks[5] = ranks[5], ranks[0]
+        embedding._cached_rank_vertex_map = ranks
+        with pytest.raises(EmbeddingError):
+            verify_embedding(embedding)

@@ -127,3 +127,12 @@ class TestUniformMeshSimulation:
         metrics = sim.measure()
         assert metrics.max_edge_distance <= sim.target_mesh.diameter()
         assert metrics.average_edge_distance <= metrics.max_edge_distance
+
+    @pytest.mark.parametrize(
+        "sides,n",
+        [((3, 3, 3), 4), ((4, 4, 4), 4), ((5, 5), 4), ((2,), 2), ((3, 3, 3, 3), 5)],
+    )
+    def test_vectorised_measure_matches_reference(self, sides, n):
+        # PR-3 parity contract: the array sweep equals the per-node enumeration.
+        sim = UniformMeshSimulation(sides, n=n)
+        assert sim.measure() == sim.measure_reference()

@@ -129,4 +129,12 @@ class TestStarVsHypercube:
 
     def test_row_count(self):
         result = exp_star_vs_hypercube.run(max_degree=6, embedding_degrees=(3,))
-        assert len(result.rows) == 5 + 1
+        # 5 formula rows (degrees 2..6), 9 measured rows (S_3..S_6 and
+        # Q_2..Q_6 are all under the sweep's node bound), 1 embedding row.
+        assert len(result.rows) == 5 + 9 + 1
+
+    def test_measured_diameters_match_formulas(self):
+        result = exp_star_vs_hypercube.run(max_degree=5, embedding_degrees=(3,))
+        measured = [row for row in result.rows if "measured" in row[0]]
+        assert measured
+        assert all("(formula" in row[2] for row in measured)

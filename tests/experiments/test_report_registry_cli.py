@@ -1,11 +1,21 @@
 """Tests for the experiment result container, table rendering, registry and CLI."""
 
+import json
+
 import pytest
 
 from repro.exceptions import InvalidParameterError
 from repro.experiments.cli import build_parser, main
-from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments, run_experiment
-from repro.experiments.report import ExperimentResult, format_table, render_result
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    PROFILES,
+    ExperimentSpec,
+    get_experiment,
+    get_spec,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.report import ExperimentResult, format_table, json_safe, render_result
 
 
 class TestFormatTable:
@@ -62,17 +72,38 @@ class TestRegistry:
         assert len(EXPERIMENTS) == 16
         assert set(list_experiments()) == set(EXPERIMENTS)
 
+    def test_specs_have_titles_and_matching_ids(self):
+        for experiment_id, spec in EXPERIMENTS.items():
+            assert isinstance(spec, ExperimentSpec)
+            assert spec.experiment_id == experiment_id
+            assert spec.title and not spec.title.startswith("exp_")
+
     def test_get_experiment_case_insensitive(self):
-        assert get_experiment("fig7") is EXPERIMENTS["FIG7"]
+        assert get_experiment("fig7") is EXPERIMENTS["FIG7"].run
+        assert get_spec("fig7") is EXPERIMENTS["FIG7"]
 
     def test_get_experiment_unknown(self):
         with pytest.raises(InvalidParameterError):
             get_experiment("NOPE")
 
+    def test_profiles_resolve(self):
+        spec = get_spec("THM4")
+        assert spec.params("default") == {}
+        assert spec.params("fast") == {"degrees": (3, 4, 5)}
+        with pytest.raises(InvalidParameterError):
+            spec.params("warp")
+        assert set(spec.profiles) <= set(PROFILES)
+
     def test_run_experiment_by_id(self):
         result = run_experiment("FIG4")
         assert result.experiment_id == "FIG4"
         result.assert_claim()
+
+    def test_run_experiment_profile_and_overrides(self):
+        result = run_experiment("LEM1", profile="fast")
+        assert result.rows[-1][0] == 6  # fast profile caps max_n at 6
+        result = run_experiment("LEM1", profile="fast", max_n=4)
+        assert result.rows[-1][0] == 4  # explicit kwargs win over the profile
 
     def test_experiment_ids_match_result_ids(self):
         # Spot-check a few cheap ones; ids in results must match registry keys
@@ -86,10 +117,12 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_list_command(self, capsys):
+    def test_list_command_prints_titles(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "FIG7" in output and "THM4" in output
+        assert "Figure 7: mapping of V(D_4) into V(S_4)" in output
+        assert "Theorem 4" in output
 
     def test_run_single_experiment(self, capsys):
         assert main(["run", "FIG4"]) == 0
@@ -102,6 +135,59 @@ class TestCli:
         output = capsys.readouterr().out
         assert "Lemma 1" in output and "Table 1" in output
 
+    def test_profile_flag_matches_fast(self, capsys):
+        assert main(["run", "LEM1", "--profile", "fast"]) == 0
+        with_profile = capsys.readouterr().out
+        assert main(["run", "LEM1", "--fast"]) == 0
+        with_shorthand = capsys.readouterr().out
+        assert with_profile == with_shorthand
+
+    def test_fast_conflicts_with_other_profile(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "LEM1", "--fast", "--profile", "heavy"])
+
+    def test_json_artifact_file(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        assert main(["run", "LEM1", "TAB1", "--fast", "--json", str(out)]) == 0
+        artifacts = json.loads(out.read_text())
+        assert [a["experiment_id"] for a in artifacts] == ["LEM1", "TAB1"]
+        for artifact in artifacts:
+            assert artifact["profile"] == "fast"
+            assert artifact["summary"]["claim_holds"] is True
+            assert artifact["headers"] and artifact["rows"]
+        assert artifacts[0]["params"] == {"max_n": 6}
+
+    def test_json_to_stdout_replaces_tables(self, capsys):
+        assert main(["run", "FIG4", "--json", "-"]) == 0
+        output = capsys.readouterr().out
+        artifacts = json.loads(output)
+        assert artifacts[0]["experiment_id"] == "FIG4"
+
+    def test_run_all_fast_smoke(self, tmp_path):
+        """The CLI smoke test: every experiment passes at the fast profile."""
+        out = tmp_path / "all.json"
+        assert main(["run", "all", "--fast", "--json", str(out)]) == 0
+        artifacts = json.loads(out.read_text())
+        assert len(artifacts) == len(EXPERIMENTS)
+        assert all(a["summary"].get("claim_holds", True) for a in artifacts)
+
     def test_run_unknown_experiment_raises(self):
         with pytest.raises(InvalidParameterError):
             main(["run", "UNKNOWN"])
+
+
+class TestJsonSafe:
+    def test_plain_types_pass_through(self):
+        assert json_safe({"a": (1, 2.5, "x", None, True)}) == {"a": [1, 2.5, "x", None, True]}
+
+    def test_numpy_scalars_unwrap(self):
+        numpy = pytest.importorskip("numpy")
+        assert json_safe(numpy.int64(7)) == 7
+        assert json_safe([numpy.float64(0.5)]) == [0.5]
+
+    def test_objects_fall_back_to_str(self):
+        class Odd:
+            def __repr__(self):
+                return "odd!"
+
+        assert json_safe(Odd()) == "odd!"

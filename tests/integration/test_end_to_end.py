@@ -158,9 +158,8 @@ class TestConflictInjection:
 
 class TestExperimentsEndToEnd:
     def test_full_registry_runs_and_all_claims_hold(self):
-        from repro.experiments.cli import FAST_PARAMS
         from repro.experiments.registry import list_experiments, run_experiment
 
         for experiment_id in list_experiments():
-            result = run_experiment(experiment_id, **FAST_PARAMS.get(experiment_id, {}))
+            result = run_experiment(experiment_id, profile="fast")
             result.assert_claim()

@@ -1,0 +1,182 @@
+"""Parity tests for the adjacency-index backend and its vectorised services.
+
+The PR-3 facade contract: every index-native whole-graph service must be
+bit-identical to the retained tuple/dict BFS references --
+
+* ``neighbor_index_table`` round-trips against ``neighbors()`` (same
+  neighbours, same order) on star, mesh and hypercube;
+* ``bfs_distances_from`` / ``distance_matrix`` match ``Topology._bfs_distances``
+  (the dict BFS) entry for entry, both with and without the star closed form;
+* index-based ``connectivity_after_faults`` matches the dict-of-tuples flood
+  fill (``connectivity_after_faults_reference``) on random fault sets;
+* ``star_distances_between`` matches the scalar ``star_distance`` closed form;
+* ``distance_summary`` matches a diameter/average computed from the dict BFS.
+"""
+
+import random
+
+import pytest
+
+from repro.topology.hypercube import Hypercube
+from repro.topology.mesh import Mesh, paper_mesh
+from repro.topology.properties import (
+    connectivity_after_faults,
+    connectivity_after_faults_reference,
+    degree_histogram,
+    edge_count,
+    node_degrees,
+)
+from repro.topology.routing import (
+    bfs_distances_from,
+    connected_under_alive_mask,
+    distance_matrix,
+    distance_summary,
+    star_distance,
+    star_distances_between,
+)
+from repro.topology.star import StarGraph
+
+
+def small_topologies():
+    return [
+        StarGraph(3),
+        StarGraph(4),
+        StarGraph(5),
+        paper_mesh(3),
+        paper_mesh(4),
+        Mesh((4, 1, 3)),
+        Mesh((5,)),
+        Hypercube(2),
+        Hypercube(4),
+    ]
+
+
+@pytest.mark.parametrize("topology", small_topologies(), ids=repr)
+class TestNeighborIndexTable:
+    def test_round_trip_against_neighbors(self, topology):
+        table = topology.neighbor_index_table()
+        assert len(table) == topology.num_nodes
+        for index in range(topology.num_nodes):
+            node = topology.node_from_index(index)
+            expected = [topology.node_index(nb) for nb in topology.neighbors(node)]
+            row = [int(entry) for entry in table[index]]
+            assert row[: len(expected)] == expected
+            assert all(entry == -1 for entry in row[len(expected) :])
+
+    def test_cached_per_instance(self, topology):
+        assert topology.neighbor_index_table() is topology.neighbor_index_table()
+
+    def test_degrees_match(self, topology):
+        degrees = node_degrees(topology)
+        for index in range(topology.num_nodes):
+            node = topology.node_from_index(index)
+            assert int(degrees[index]) == topology.degree(node)
+
+
+@pytest.mark.parametrize("topology", small_topologies(), ids=repr)
+class TestBfsParity:
+    def test_bfs_distances_from_matches_dict_reference(self, topology):
+        rng = random.Random(0)
+        indices = {0, topology.num_nodes - 1}
+        indices.update(rng.sample(range(topology.num_nodes), min(4, topology.num_nodes)))
+        for index in indices:
+            origin = topology.node_from_index(index)
+            reference = topology._bfs_distances(origin)  # noqa: SLF001 - the retained oracle
+            sweep = bfs_distances_from(topology, origin, use_closed_form=False)
+            assert len(reference) == topology.num_nodes  # all connected here
+            for node, expected in reference.items():
+                assert int(sweep[topology.node_index(node)]) == expected
+
+    def test_closed_form_dispatch_agrees_with_sweep(self, topology):
+        origin = topology.node_from_index(0)
+        closed = bfs_distances_from(topology, origin)
+        sweep = bfs_distances_from(topology, origin, use_closed_form=False)
+        assert [int(d) for d in closed] == [int(d) for d in sweep]
+
+    def test_distance_matrix_rows(self, topology):
+        if topology.num_nodes > 64:
+            pytest.skip("matrix parity is exercised on the small instances")
+        matrix = distance_matrix(topology)
+        for index in range(topology.num_nodes):
+            origin = topology.node_from_index(index)
+            reference = topology._bfs_distances(origin)  # noqa: SLF001
+            for node, expected in reference.items():
+                assert int(matrix[index][topology.node_index(node)]) == expected
+
+    def test_distance_summary_matches_dict_sweep(self, topology):
+        summary = distance_summary(topology)
+        diameter = 0
+        total = 0
+        pairs = 0
+        for node in topology.nodes():
+            reference = topology._bfs_distances(node)  # noqa: SLF001
+            diameter = max(diameter, max(reference.values()))
+            total += sum(reference.values())
+            pairs += len(reference) - 1
+        assert summary.diameter == diameter
+        assert summary.average_distance == pytest.approx(total / pairs)
+        assert summary.connected
+
+
+@pytest.mark.parametrize("topology", small_topologies(), ids=repr)
+class TestConnectivityParity:
+    def test_random_fault_sets_match_reference(self, topology):
+        rng = random.Random(7)
+        nodes = list(topology.nodes())
+        for trial in range(8):
+            faults = rng.sample(nodes, min(trial, len(nodes) - 1))
+            assert connectivity_after_faults(topology, faults) == \
+                connectivity_after_faults_reference(topology, faults)
+
+    def test_all_faulty_matches_reference(self, topology):
+        nodes = list(topology.nodes())
+        assert connectivity_after_faults(topology, nodes) is False
+        assert connectivity_after_faults_reference(topology, nodes) is False
+
+    def test_foreign_faults_ignored_like_reference(self, topology):
+        foreign = [(99,) * max(1, len(topology.node_from_index(0)))]
+        assert connectivity_after_faults(topology, foreign) is True
+        assert connectivity_after_faults_reference(topology, foreign) is True
+
+
+class TestConnectivityCutVertices:
+    def test_path_mesh_disconnects_on_interior_fault(self):
+        path = Mesh((5,))
+        assert not connectivity_after_faults(path, [(2,)])
+        assert connectivity_after_faults(path, [(0,)])
+
+    def test_alive_mask_form(self):
+        star = StarGraph(4)
+        alive = [True] * star.num_nodes
+        assert connected_under_alive_mask(star, alive)
+        alive[5] = alive[11] = False
+        assert connected_under_alive_mask(star, alive)
+        assert not connected_under_alive_mask(star, [False] * star.num_nodes)
+
+
+class TestStarDistancesBetween:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_matches_scalar_closed_form(self, n):
+        rng = random.Random(n)
+        star = StarGraph(n)
+        sources = []
+        targets = []
+        for _ in range(40):
+            sources.append(star.node_from_index(rng.randrange(star.num_nodes)))
+            targets.append(star.node_from_index(rng.randrange(star.num_nodes)))
+        batch = star_distances_between(sources, targets)
+        for k in range(40):
+            assert int(batch[k]) == star_distance(sources[k], targets[k])
+
+
+class TestPropertiesOnTable:
+    def test_degree_histogram_and_edge_count_vs_enumeration(self):
+        for topology in (StarGraph(4), paper_mesh(4), Hypercube(3)):
+            by_hand = {}
+            edges = 0
+            for node in topology.nodes():
+                degree = len(topology.neighbors(node))
+                by_hand[degree] = by_hand.get(degree, 0) + 1
+                edges += degree
+            assert degree_histogram(topology) == by_hand
+            assert edge_count(topology) == edges // 2
