@@ -151,3 +151,53 @@ def test_cmp_experiment(benchmark):
     """CMP: star vs hypercube comparison table plus embedding comparison."""
     result = benchmark(exp_star_vs_hypercube.run, max_degree=8, embedding_degrees=(3, 4))
     result.assert_claim()
+
+
+# --------------------------------------------------------- Cayley family (PR 4)
+def test_pancake_distance_summary_index_sweep(benchmark):
+    """Ablation (a): diameter + average distance of P_6 via index-table BFS sweeps.
+
+    720 sources, each one frontier sweep over the stacked move-table adjacency
+    index -- the backend of the NETWORK-FAMILY experiment's measured columns.
+    """
+    from repro.topology.cayley import PancakeGraph
+    from repro.topology.routing import distance_summary
+
+    pancake = PancakeGraph(6)
+    pancake.neighbor_index_table()  # amortised precompute, as in the experiments
+
+    def summary():
+        return distance_summary(pancake, use_closed_form=False)
+
+    result = benchmark(summary)
+    assert result.diameter == 7  # the known pancake number for n = 6
+
+
+@pytest.mark.heavy_bench
+def test_pancake_distance_summary_dict_bfs(benchmark):
+    """Ablation (b): the same aggregates from per-node dict BFS (the seed path)."""
+    from repro.topology.cayley import PancakeGraph
+
+    pancake = PancakeGraph(6)
+
+    def summary():
+        diameter = 0
+        total = 0
+        pairs = 0
+        for node in pancake.nodes():
+            distances = pancake._bfs_distances(node)  # noqa: SLF001 - the retained oracle
+            diameter = max(diameter, max(distances.values()))
+            total += sum(distances.values())
+            pairs += len(distances) - 1
+        return diameter, total / pairs
+
+    diameter, _average = benchmark(summary)
+    assert diameter == 7
+
+
+def test_network_family_experiment(benchmark):
+    """NETWORK-FAMILY: the cross-family comparison at its fast profile sizes."""
+    from repro.experiments.claims import exp_network_family
+
+    result = benchmark(exp_network_family.run, degrees=(3, 4), fault_trials=3)
+    result.assert_claim()

@@ -20,8 +20,15 @@ Star-specific algorithms (broadcasting on ``S_n`` itself, Section 2 property
 
 from repro.algorithms.broadcast import (
     mesh_broadcast,
+    cayley_broadcast_greedy,
     star_broadcast_greedy,
     star_broadcast_bound,
+)
+from repro.algorithms.cayley import (
+    cayley_broadcast_tree,
+    cayley_reduce_tree,
+    cayley_allreduce_tree,
+    generator_tree_plan,
 )
 from repro.algorithms.reduction import mesh_reduce, mesh_allreduce
 from repro.algorithms.scan import prefix_sum_dimension, segmented_totals
@@ -35,8 +42,13 @@ from repro.algorithms.sorting import (
 
 __all__ = [
     "mesh_broadcast",
+    "cayley_broadcast_greedy",
     "star_broadcast_greedy",
     "star_broadcast_bound",
+    "cayley_broadcast_tree",
+    "cayley_reduce_tree",
+    "cayley_allreduce_tree",
+    "generator_tree_plan",
     "mesh_reduce",
     "mesh_allreduce",
     "prefix_sum_dimension",

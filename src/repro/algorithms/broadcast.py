@@ -11,13 +11,17 @@ Two broadcast algorithms are provided:
   cached :class:`~repro.simd.programs.RouteProgram` (bit-identical registers
   and ledgers vs. the per-call reference in
   :mod:`repro.algorithms.reference`).
-* :func:`star_broadcast_greedy` -- an SIMD-B broadcast directly on the star
-  graph: in every unit route each informed PE forwards the value to one
+* :func:`cayley_broadcast_greedy` -- an SIMD-B broadcast on *any* machine
+  topology: in every unit route each informed PE forwards the value to one
   not-yet-informed neighbour (a greedy maximal matching from informed to
-  uninformed nodes).  The paper's Section 2 (property 3, quoting Akers &
-  Krishnamurthy) states broadcasting needs at most about ``3 n lg n`` unit
-  routes; :func:`star_broadcast_bound` evaluates that bound so the experiments
-  can put the measured count next to it.
+  uninformed nodes).  :func:`star_broadcast_greedy` is the star-graph entry
+  point (retained, delegating); the paper's Section 2 (property 3, quoting
+  Akers & Krishnamurthy) states broadcasting on ``S_n`` needs at most about
+  ``3 n lg n`` unit routes; :func:`star_broadcast_bound` evaluates that bound
+  so the experiments can put the measured count next to it.
+
+The SIMD-A tree-scheduled broadcast/reduction (one generator per unit route)
+lives in :mod:`repro.algorithms.cayley`.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from repro.topology.base import Node
 
 __all__ = [
     "mesh_broadcast",
+    "cayley_broadcast_greedy",
     "star_broadcast_greedy",
     "star_broadcast_bound",
 ]
@@ -92,42 +97,59 @@ def mesh_broadcast(machine, source_node: Node, register: str, *, result: Optiona
     return machine.stats.unit_routes - routes_before
 
 
-def star_broadcast_greedy(
-    machine: StarMachine, source_node: Node, register: str, *, result: Optional[str] = None
+def cayley_broadcast_greedy(
+    machine, source_node: Node, register: str, *, result: Optional[str] = None
 ) -> int:
-    """SIMD-B broadcast on the star graph; returns the number of unit routes.
+    """SIMD-B broadcast on any connected machine topology; returns the unit routes.
 
     Every unit route, each informed PE transmits to at most one uninformed
     neighbour; the set of transfers is a greedy matching (scheduled by the
     control unit, which knows the topology but not the data).  The value ends
     up in *result* (defaults to ``register + "_bcast"``) on every PE.
+
+    Topology-generic: the schedule consumes only ``neighbors()``, so the same
+    program runs on :class:`~repro.simd.star_machine.StarMachine`, on
+    :class:`~repro.simd.cayley_machine.CayleyMachine` over any Cayley family,
+    or on a plain machine over mesh/hypercube.
     """
-    if not isinstance(machine, StarMachine):
-        raise InvalidParameterError("star_broadcast_greedy needs a StarMachine")
-    star = machine.star
-    source_node = star.validate_node(source_node)
+    topology = machine.topology
+    source_node = topology.validate_node(source_node)
     result = result or f"{register}_bcast"
 
-    machine.define_register(result, {node: _MISSING for node in star.nodes()})
+    machine.define_register(result, {node: _MISSING for node in topology.nodes()})
     machine.write_value(result, source_node, machine.read_value(register, source_node))
 
     informed = {source_node}
     routes = 0
-    total = star.num_nodes
+    total = topology.num_nodes
     while len(informed) < total:
         claimed: Dict[Node, Node] = {}
         for node in sorted(informed):
-            for neighbor in star.neighbors(node):
+            for neighbor in topology.neighbors(node):
                 if neighbor not in informed and neighbor not in claimed:
                     claimed[neighbor] = node
                     break
-        if not claimed:  # pragma: no cover - impossible on a connected graph
+        if not claimed:
             raise InvalidParameterError("broadcast stalled; graph disconnected?")
         moves = [(sender, receiver) for receiver, sender in claimed.items()]
         machine.route_moves(result, result, moves, label="broadcast")
         informed.update(claimed.keys())
         routes += 1
     return routes
+
+
+def star_broadcast_greedy(
+    machine: StarMachine, source_node: Node, register: str, *, result: Optional[str] = None
+) -> int:
+    """SIMD-B broadcast on the star graph; returns the number of unit routes.
+
+    The star-graph entry point of :func:`cayley_broadcast_greedy` (the greedy
+    schedule predates the generic version and keeps its signature and
+    behaviour bit for bit).
+    """
+    if not isinstance(machine, StarMachine):
+        raise InvalidParameterError("star_broadcast_greedy needs a StarMachine")
+    return cayley_broadcast_greedy(machine, source_node, register, result=result)
 
 
 def star_broadcast_bound(n: int) -> float:

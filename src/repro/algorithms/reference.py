@@ -37,6 +37,9 @@ __all__ = [
     "mesh_broadcast",
     "mesh_reduce",
     "mesh_allreduce",
+    "cayley_broadcast_tree",
+    "cayley_reduce_tree",
+    "cayley_allreduce_tree",
 ]
 
 _EMPTY = object()
@@ -368,4 +371,120 @@ def mesh_allreduce(
     reduced = mesh_reduce(machine, register, operator, result="_allred_partial")
     origin = tuple(0 for _ in machine.mesh.sides)
     mesh_broadcast(machine, origin, "_allred_partial", result=result)
+    return reduced
+
+
+# ----------------------------------------------------- Cayley tree schedules
+def _cayley_tree_phases(machine, root):
+    """The BFS spanning-tree schedule as tuple node pairs, rebuilt per call.
+
+    Returns ``[((depth, generator), [(parent, child), ...]), ...]`` sorted by
+    ``(depth, generator)``; every non-root node hangs off its first neighbour
+    (``neighbors()`` order) one BFS level closer to the root.  This is the
+    tuple-walking twin of :func:`repro.algorithms.cayley.generator_tree_plan`.
+    """
+    topology = machine.topology
+    distances = {root: 0}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for node in frontier:
+            for neighbor in topology.neighbors(node):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[node] + 1
+                    nxt.append(neighbor)
+        frontier = nxt
+    if len(distances) != topology.num_nodes:
+        raise InvalidParameterError(f"{topology!r} is not connected; no spanning tree")
+    groups = {}
+    for node in topology.nodes():
+        depth = distances[node]
+        if depth == 0:
+            continue
+        for generator, neighbor in enumerate(topology.neighbors(node)):
+            if distances[neighbor] == depth - 1:
+                groups.setdefault((depth, generator), []).append((neighbor, node))
+                break
+    return sorted(groups.items())
+
+
+def cayley_broadcast_tree(machine, source_node, register, *, result=None) -> int:
+    """Per-call generator-scheduled tree broadcast (reference)."""
+    topology = machine.topology
+    source_node = topology.validate_node(source_node)
+    result = result or f"{register}_bcast"
+
+    # Only the source holds a value; every other PE is overwritten exactly
+    # once (by its tree parent), so no adopt kernel is needed.
+    machine.define_register(result, {node: _MISSING for node in topology.nodes()})
+    machine.write_value(result, source_node, machine.read_value(register, source_node))
+
+    phases = _cayley_tree_phases(machine, source_node)
+    for (_depth, _generator), pairs in phases:
+        machine.route_moves(result, result, pairs, label="broadcast-tree")
+    return len(phases)
+
+
+def cayley_reduce_tree(
+    machine,
+    register: str,
+    operator: Callable[[object, object], object],
+    *,
+    root_node=None,
+    result: Optional[str] = None,
+) -> object:
+    """Per-call generator-scheduled tree reduction (reference)."""
+    topology = machine.topology
+    root = (
+        topology.validate_node(root_node)
+        if root_node is not None
+        else topology.node_from_index(0)
+    )
+    result = result or f"{register}_red"
+    machine.copy_register(register, result)
+    machine.define_register("_incoming_cay", _NEUTRAL)
+
+    def fold(current, incoming):
+        if incoming is _NEUTRAL:
+            return current
+        return operator(current, incoming)
+
+    phases = _cayley_tree_phases(machine, root)
+    for (_depth, _generator), pairs in reversed(phases):
+        machine.route_moves(
+            result,
+            "_incoming_cay",
+            [(child, parent) for parent, child in pairs],
+            label="reduce-tree",
+        )
+        # Fold only at the parents that just received; stale staging values
+        # at other PEs are never read (every later phase routes first).
+        receivers = {parent for parent, _child in pairs}
+        machine.apply(
+            result, fold, result, "_incoming_cay",
+            where=lambda node, _r=receivers: node in _r,
+        )
+    return machine.read_value(result, root)
+
+
+def cayley_allreduce_tree(
+    machine,
+    register: str,
+    operator: Callable[[object, object], object],
+    *,
+    root_node=None,
+    result: Optional[str] = None,
+) -> object:
+    """Per-call reduce-and-broadcast on the Cayley tree (reference)."""
+    topology = machine.topology
+    root = (
+        topology.validate_node(root_node)
+        if root_node is not None
+        else topology.node_from_index(0)
+    )
+    result = result or f"{register}_all"
+    reduced = cayley_reduce_tree(
+        machine, register, operator, root_node=root, result="_allred_cay"
+    )
+    cayley_broadcast_tree(machine, root, "_allred_cay", result=result)
     return reduced

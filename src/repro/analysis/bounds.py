@@ -20,6 +20,9 @@ __all__ = [
     "star_num_edges",
     "hypercube_num_nodes",
     "hypercube_diameter",
+    "bubble_sort_diameter",
+    "pancake_diameter_known",
+    "KNOWN_PANCAKE_DIAMETERS",
     "mesh_diameter",
     "paper_mesh_max_degree",
     "dilation_lower_bound_exists",
@@ -61,6 +64,46 @@ def hypercube_diameter(n: int) -> int:
     """``n`` -- diameter of ``Q_n``."""
     check_positive_int(n, "n", minimum=1)
     return n
+
+
+def bubble_sort_diameter(n: int) -> int:
+    """``n (n - 1) / 2`` -- diameter of the bubble-sort network ``B_n``.
+
+    The bubble-sort distance between two permutations is the Kendall tau
+    (inversion) distance, maximised by the full reversal at ``C(n, 2)``.
+    """
+    check_positive_int(n, "n", minimum=2)
+    return n * (n - 1) // 2
+
+
+#: Exact pancake-graph diameters (the "pancake numbers"), known only for small
+#: degrees (Gates & Papadimitriou 1979 and exhaustive searches since); no
+#: closed form is known.  Every instance small enough to measure with the
+#: index-sweep services falls inside this table.
+KNOWN_PANCAKE_DIAMETERS = {
+    2: 1,
+    3: 3,
+    4: 4,
+    5: 5,
+    6: 7,
+    7: 8,
+    8: 9,
+    9: 10,
+    10: 11,
+    11: 13,
+    12: 14,
+    13: 15,
+}
+
+
+def pancake_diameter_known(n: int):
+    """The known diameter of the pancake network ``P_n``, or ``None``.
+
+    Unlike the star graph's ``floor(3(n-1)/2)`` no closed form exists;
+    measured diameters are held against this table where it has an entry.
+    """
+    check_positive_int(n, "n", minimum=2)
+    return KNOWN_PANCAKE_DIAMETERS.get(n)
 
 
 def mesh_diameter(sides: Sequence[int]) -> int:

@@ -14,11 +14,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
+
+from repro.exceptions import InvalidParameterError
 
 from repro.analysis.bounds import (
+    bubble_sort_diameter,
     hypercube_diameter,
     hypercube_num_nodes,
+    pancake_diameter_known,
     star_diameter,
     star_num_nodes,
 )
@@ -29,6 +33,8 @@ __all__ = [
     "star_vs_hypercube_table",
     "closest_hypercube_for_star",
     "MeasuredNetworkRow",
+    "MEASURED_FAMILIES",
+    "measured_instances",
     "measured_network_rows",
 ]
 
@@ -76,63 +82,111 @@ class MeasuredNetworkRow:
     ``diameter_measured`` and ``average_distance`` come from the vectorised
     distance sweep of :func:`repro.topology.routing.distance_summary` (one
     pass per source over the adjacency index table); ``diameter_formula`` is
-    the closed form the measurement is held against.
+    the closed form the measurement is held against, or ``None`` where no
+    formula (or known value) exists -- pancake diameters beyond the known
+    table.
     """
 
     degree: int
+    family: str
     network: str
     nodes: int
-    diameter_formula: int
+    diameter_formula: Optional[int]
     diameter_measured: int
     average_distance: float
 
     @property
     def diameter_matches(self) -> bool:
-        """True when the measured diameter equals the closed form."""
+        """True when the measured diameter equals the closed form.
+
+        Rows without a formula (``diameter_formula is None``) vacuously
+        match: the measurement *is* the only known value.
+        """
+        if self.diameter_formula is None:
+            return True
         return self.diameter_measured == self.diameter_formula
 
 
-def measured_network_rows(max_degree: int, *, max_nodes: int = 1024) -> List[MeasuredNetworkRow]:
-    """Measured diameters/average distances for the comparison networks.
+#: The network families :func:`measured_network_rows` can measure, in row
+#: order per degree.  Star and hypercube are the paper's comparison; pancake
+#: and bubble-sort are the sibling Cayley families sharing the star's
+#: ``n!``-node vertex set and degree.
+MEASURED_FAMILIES: tuple = ("star", "pancake", "bubble-sort", "hypercube")
 
-    For every degree ``2..max_degree`` the star graph ``S_{degree+1}`` and the
-    hypercube ``Q_degree`` are measured through the index-table distance
-    sweep, skipping instances above *max_nodes* (the sweep is quadratic in
-    the node count).  Used by the CMP experiment to put measured numbers next
-    to the quoted formulas.
+
+def measured_instances(degree: int):
+    """``family -> (display name, topology instance, formula diameter)`` at *degree*.
+
+    The single source of the comparison networks: both
+    :func:`measured_network_rows` and the NETWORK-FAMILY experiment build
+    their instances here, keyed by the stable family slugs of
+    :data:`MEASURED_FAMILIES`.
     """
-    check_positive_int(max_degree, "max_degree", minimum=2)
+    from repro.topology.cayley import BubbleSortGraph, PancakeGraph
     from repro.topology.hypercube import Hypercube
-    from repro.topology.routing import distance_summary
     from repro.topology.star import StarGraph
 
+    n = degree + 1  # the permutation families have degree n - 1
+    return {
+        "star": (f"S_{n}", StarGraph(n), star_diameter(n)),
+        "pancake": (f"P_{n}", PancakeGraph(n), pancake_diameter_known(n)),
+        "bubble-sort": (f"B_{n}", BubbleSortGraph(n), bubble_sort_diameter(n)),
+        "hypercube": (f"Q_{degree}", Hypercube(degree), hypercube_diameter(degree)),
+    }
+
+
+def measured_network_rows(
+    max_degree: Optional[int] = None,
+    *,
+    max_nodes: int = 1024,
+    families: Sequence[str] = MEASURED_FAMILIES,
+    degrees: Optional[Sequence[int]] = None,
+) -> List[MeasuredNetworkRow]:
+    """Measured diameters/average distances for the comparison networks.
+
+    The degrees to measure come from exactly one of the two forms: a
+    *max_degree* sweep (every degree ``2..max_degree``) or an explicit
+    *degrees* sequence.  At each degree every requested family instance
+    (star ``S_{degree+1}``, pancake ``P_{degree+1}``, bubble-sort
+    ``B_{degree+1}``, hypercube ``Q_degree``) is measured through the
+    index-table distance sweep, skipping instances above *max_nodes* (the
+    sweep is quadratic in the node count).  Used by the CMP and
+    NETWORK-FAMILY experiments to put measured numbers next to the quoted
+    formulas/known values.
+    """
+    if (max_degree is None) == (degrees is None):
+        raise InvalidParameterError(
+            "pass exactly one of max_degree (a 2..max sweep) or degrees"
+        )
+    from repro.topology.routing import distance_summary
+
+    unknown = set(families) - set(MEASURED_FAMILIES)
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown families {sorted(unknown)!r}; available: {MEASURED_FAMILIES}"
+        )
+    if degrees is None:
+        check_positive_int(max_degree, "max_degree", minimum=2)
+        degrees = range(2, max_degree + 1)
     rows: List[MeasuredNetworkRow] = []
-    for degree in range(2, max_degree + 1):
-        star = StarGraph(degree + 1)
-        if star.num_nodes <= max_nodes:
+    for degree in degrees:
+        check_positive_int(degree, "degree", minimum=2)
+        instances = measured_instances(degree)
+        for family in families:
+            name, topology, formula = instances[family]
+            if topology.num_nodes > max_nodes:
+                continue
             # use_closed_form=False: the sweep itself is the measurement the
             # closed form is held against, so the star graph must not answer
             # from its analytic formula here.
-            summary = distance_summary(star, use_closed_form=False)
+            summary = distance_summary(topology, use_closed_form=False)
             rows.append(
                 MeasuredNetworkRow(
                     degree=degree,
-                    network=f"S_{degree + 1}",
-                    nodes=star.num_nodes,
-                    diameter_formula=star_diameter(degree + 1),
-                    diameter_measured=summary.diameter,
-                    average_distance=summary.average_distance,
-                )
-            )
-        cube = Hypercube(degree)
-        if cube.num_nodes <= max_nodes:
-            summary = distance_summary(cube, use_closed_form=False)
-            rows.append(
-                MeasuredNetworkRow(
-                    degree=degree,
-                    network=f"Q_{degree}",
-                    nodes=cube.num_nodes,
-                    diameter_formula=hypercube_diameter(degree),
+                    family=family,
+                    network=name,
+                    nodes=topology.num_nodes,
+                    diameter_formula=formula,
                     diameter_measured=summary.diameter,
                     average_distance=summary.average_distance,
                 )

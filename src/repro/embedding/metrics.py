@@ -302,11 +302,11 @@ def _mesh_to_star_edge_data(embedding: Embedding) -> Optional[_MeshToStarEdgeDat
     cached on the embedding instance.
     """
     from repro.embedding.mesh_to_star import MeshToStarEmbedding
-    from repro.permutations.ranking import MAX_TABLE_DEGREE
+    from repro.permutations.ranking import within_table_degree
 
     if _np is None or type(embedding) is not MeshToStarEmbedding:
         return None
-    if embedding.n > MAX_TABLE_DEGREE:
+    if not within_table_degree(embedding.n):
         return None
     cached = getattr(embedding, "_cached_fast_edge_data", None)
     if cached is None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "InvalidParameterError",
+    "TableDegreeError",
     "InvalidNodeError",
     "InvalidPermutationError",
     "EmbeddingError",
@@ -30,6 +31,20 @@ class ReproError(Exception):
 
 class InvalidParameterError(ReproError, ValueError):
     """A constructor or function argument is outside its documented domain."""
+
+
+class TableDegreeError(InvalidParameterError):
+    """A degree exceeds the dense per-degree table bound.
+
+    The rank-indexed fast core precomputes ``(n-1) x n!`` move tables and the
+    ``(n!, n)`` permutation population per degree; beyond
+    :data:`repro.permutations.ranking.MAX_TABLE_DEGREE` those tables stop being
+    a sensible default (memory grows factorially).  Every consumer that
+    *requires* the dense tables raises this one exception type through
+    :func:`repro.permutations.ranking.require_table_degree`; consumers with a
+    tuple-based fallback gate it on
+    :func:`repro.permutations.ranking.within_table_degree` instead.
+    """
 
 
 class InvalidNodeError(ReproError, ValueError):

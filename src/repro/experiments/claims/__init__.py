@@ -16,6 +16,8 @@ THM7/8/9  Uniform-mesh simulation slowdowns                      ``exp_uniform_m
 APP       Appendix factorisation and optimal dimension           ``exp_optimal_dimension``
 CONC      Sorting on the star graph through the embedding        ``exp_sorting``
 CMP       Star vs hypercube comparison (introduction)            ``exp_star_vs_hypercube``
+NETWORK-  Star vs pancake vs bubble-sort vs hypercube            ``exp_network_family``
+FAMILY    (the Cayley family on the rank-indexed core)
 ========  =====================================================  =========================
 """
 
@@ -30,6 +32,7 @@ from repro.experiments.claims import (  # noqa: F401 (re-exported for the regist
     exp_optimal_dimension,
     exp_sorting,
     exp_star_vs_hypercube,
+    exp_network_family,
 )
 
 __all__ = [
@@ -43,4 +46,5 @@ __all__ = [
     "exp_optimal_dimension",
     "exp_sorting",
     "exp_star_vs_hypercube",
+    "exp_network_family",
 ]

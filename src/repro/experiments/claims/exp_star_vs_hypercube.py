@@ -92,7 +92,8 @@ def run(max_degree: int = 9, embedding_degrees=(3, 4, 5, 6)) -> ExperimentResult
             "At equal degree >= 3 the star graph connects strictly more processors; the Gray-code "
             "hypercube embedding of D_n has dilation 1 but needs up to 2x the nodes (expansion > 1) "
             "whenever a mesh side is not a power of two.",
-            "'measured' rows are whole-graph distance sweeps over the adjacency index; the measured "
-            "diameters must equal the quoted closed forms for the claim to hold.",
+            "'measured' rows are whole-graph distance sweeps over the adjacency index (star plus its "
+            "pancake/bubble-sort Cayley siblings and the hypercube); the measured diameters must "
+            "equal the quoted closed forms / known values for the claim to hold.",
         ],
     )

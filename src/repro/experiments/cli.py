@@ -4,6 +4,9 @@ Usage
 -----
 ``repro-star list``
     Print the available experiment identifiers with their titles.
+``repro-star list --json``
+    The same as machine-readable JSON on stdout: one object per experiment
+    (id, title, profile names) -- for tooling that drives the runner.
 ``repro-star run FIG7 THM4 ...``
     Run the named experiments and print their tables; ``run all`` runs the
     whole registry (this is how EXPERIMENTS.md's measured columns were
@@ -49,7 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list available experiments")
+    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the experiment catalogue as JSON (ids, titles, profiles)",
+    )
 
     run_parser = subparsers.add_parser("run", help="run one or more experiments")
     run_parser.add_argument(
@@ -84,8 +92,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
+        if args.json:
+            catalogue = [
+                {
+                    "experiment_id": experiment_id,
+                    "title": EXPERIMENTS[experiment_id].title,
+                    # "default" is always available; named overrides follow.
+                    "profiles": ["default"]
+                    + [
+                        p
+                        for p in PROFILES
+                        if p != "default" and p in EXPERIMENTS[experiment_id].profiles
+                    ],
+                }
+                for experiment_id in list_experiments()
+            ]
+            print(json.dumps(catalogue, indent=2))
+            return 0
+        width = max(len(experiment_id) for experiment_id in EXPERIMENTS)
         for experiment_id in list_experiments():
-            print(f"{experiment_id:8s} {EXPERIMENTS[experiment_id].title}")
+            print(f"{experiment_id:{width}s}  {EXPERIMENTS[experiment_id].title}")
         return 0
 
     if args.profile and args.fast and args.profile != "fast":

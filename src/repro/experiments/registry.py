@@ -43,6 +43,7 @@ from repro.experiments.claims import (
     exp_dilation,
     exp_lemma1_no_dilation1,
     exp_lemma2_transposition_distance,
+    exp_network_family,
     exp_optimal_dimension,
     exp_sorting,
     exp_star_properties,
@@ -217,6 +218,13 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             exp_star_vs_hypercube.run,
             fast={"max_degree": 7, "embedding_degrees": (3, 4)},
             heavy={"max_degree": 10, "embedding_degrees": (3, 4, 5, 6, 7)},
+        ),
+        _spec(
+            "NETWORK-FAMILY",
+            "Cayley family: star vs pancake vs bubble-sort vs hypercube",
+            exp_network_family.run,
+            fast={"degrees": (3, 4), "fault_trials": 3},
+            heavy={"degrees": (3, 4, 5, 6), "fault_trials": 20},
         ),
     )
 }

@@ -17,10 +17,14 @@ This module is the substrate of the rank-indexed fast core:
   :meth:`repro.permutations.permutation.Permutation.num_inversions`;
 * :func:`all_permutations_array` / :func:`ranks_of` -- NumPy-vectorised
   enumeration and ranking of whole permutation populations;
-* :func:`move_tables` -- the per-degree ``(n-1) x n!`` tables mapping
-  ``rank -> rank of the neighbour along star generator g_j``, precomputed once
-  and shared by every :class:`~repro.topology.star.StarGraph` and SIMD machine
-  of that degree.
+* :func:`move_tables_for` -- per-``(generator set, degree)`` dense tables
+  mapping ``rank -> rank of the neighbour along generator g``, for *any* set
+  of involution position permutations over ``S_n`` (the substrate of the
+  generic Cayley-network subsystem in :mod:`repro.topology.cayley`);
+* :func:`move_tables` -- the star graph's ``(n-1) x n!`` tables (generators
+  ``g_j`` exchange tuple positions 0 and ``j``), the cached special case of
+  :func:`move_tables_for` shared by every
+  :class:`~repro.topology.star.StarGraph` and SIMD machine of that degree.
 """
 
 from __future__ import annotations
@@ -29,7 +33,11 @@ from functools import lru_cache
 from itertools import permutations as _itertools_permutations
 from typing import Iterator, List, Sequence, Tuple
 
-from repro.exceptions import InvalidParameterError, InvalidPermutationError
+from repro.exceptions import (
+    InvalidParameterError,
+    InvalidPermutationError,
+    TableDegreeError,
+)
 from repro.permutations.permutation import is_permutation
 
 try:  # pragma: no cover - exercised indirectly on both branches
@@ -48,7 +56,11 @@ __all__ = [
     "all_permutations_array",
     "ranks_of",
     "move_tables",
+    "move_tables_for",
+    "star_position_generators",
     "MAX_TABLE_DEGREE",
+    "within_table_degree",
+    "require_table_degree",
 ]
 
 # Beyond this degree the dense n! tables stop being a sensible default
@@ -226,13 +238,35 @@ def all_permutations(n: int) -> Iterator[Tuple[int, ...]]:
 
 
 # --------------------------------------------------------------- dense tables
-def _check_table_degree(n: int) -> None:
+def within_table_degree(n: int) -> bool:
+    """True when the dense per-degree tables exist for degree *n*.
+
+    Consumers with a tuple-based fallback (the SIMD machines' generic route
+    path, the batched embedding kernels) gate the fast path on this predicate;
+    consumers that *require* the tables call :func:`require_table_degree`.
+    """
+    return n <= MAX_TABLE_DEGREE
+
+
+def require_table_degree(n: int) -> None:
+    """Raise the one canonical error when degree *n* exceeds the table bound.
+
+    Every dense-table entry point (:func:`all_permutations_array`,
+    :func:`move_tables`, :func:`move_tables_for`) raises this same
+    :class:`~repro.exceptions.TableDegreeError` with the same message, so
+    callers can catch the overflow uniformly regardless of which table was
+    requested first.
+    """
     if n < 1:
         raise InvalidParameterError(f"degree must be >= 1, got {n}")
-    if n > MAX_TABLE_DEGREE:
-        raise InvalidParameterError(
+    if not within_table_degree(n):
+        raise TableDegreeError(
             f"dense per-degree tables are limited to n <= {MAX_TABLE_DEGREE}, got {n}"
         )
+
+
+# Retained internal alias (the public pair above is the PR-4 unification).
+_check_table_degree = require_table_degree
 
 
 @lru_cache(maxsize=None)
@@ -289,6 +323,92 @@ def ranks_of(rows) -> "list":
 
 
 @lru_cache(maxsize=None)
+def star_position_generators(n: int) -> Tuple[Tuple[int, ...], ...]:
+    """The star graph's generators ``g_1 .. g_{n-1}`` as position permutations.
+
+    ``g_j`` exchanges tuple positions 0 and ``j``; applying it to a node
+    ``pi`` yields ``tuple(pi[g[p]] for p in range(n))``.
+
+    >>> star_position_generators(3)
+    ((1, 0, 2), (2, 1, 0))
+    """
+    if n < 1:
+        raise InvalidParameterError(f"degree must be >= 1, got {n}")
+    generators = []
+    for j in range(1, n):
+        values = list(range(n))
+        values[0], values[j] = values[j], values[0]
+        generators.append(tuple(values))
+    return tuple(generators)
+
+
+def _check_generators(generators: Tuple[Tuple[int, ...], ...], n: int) -> None:
+    """Generators must be distinct non-identity involution position permutations.
+
+    Non-identity guarantees every node moves (the table is fixed-point free);
+    the involution property makes each table self-inverse, i.e. a perfect
+    matching -- the invariant the SIMD one-gather generator route relies on.
+    """
+    identity = tuple(range(n))
+    seen = set()
+    for generator in generators:
+        if len(generator) != n or not is_permutation(generator):
+            raise InvalidParameterError(
+                f"generator {generator!r} is not a permutation of 0..{n - 1}"
+            )
+        if generator == identity:
+            raise InvalidParameterError("the identity is not a valid generator")
+        if any(generator[generator[p]] != p for p in range(n)):
+            raise InvalidParameterError(
+                f"generator {generator!r} is not an involution; only involution "
+                "generator sets are supported (tables must be perfect matchings)"
+            )
+        if generator in seen:
+            raise InvalidParameterError(f"duplicate generator {generator!r}")
+        seen.add(generator)
+
+
+@lru_cache(maxsize=32)
+def move_tables_for(generators: Tuple[Tuple[int, ...], ...], n: int) -> Tuple:
+    """Dense move tables for an arbitrary involution generator set over ``S_n``.
+
+    *generators* is a tuple of position permutations of degree *n* (each a
+    non-identity involution, e.g. a transposition or a prefix reversal).
+    Returns one dense array per generator: entry ``rank`` of table ``g`` is
+    the rank of ``tuple(pi[generators[g][p]] for p in range(n))`` where ``pi``
+    is the permutation of rank ``rank``.  Each table is a fixed-point-free
+    involution of ``0..n!-1`` -- a perfect matching of the nodes, which is
+    what lets a whole-register generator route run as one gather.
+
+    NumPy ``int64`` arrays when NumPy is available, ``array.array('q')``
+    otherwise.  Cached per ``(generator set, degree)`` and shared by every
+    consumer (:func:`move_tables` is the cached star-graph special case).
+    The cache is LRU-bounded: one entry can reach hundreds of megabytes at
+    the top degrees, so sweeps over many distinct generator sets must not
+    pin every table set forever.
+    """
+    require_table_degree(n)
+    _check_generators(generators, n)
+    if _np is not None:
+        perms = all_permutations_array(n)
+        tables = []
+        for generator in generators:
+            table = ranks_of(perms[:, list(generator)])
+            table.setflags(write=False)
+            tables.append(table)
+        return tuple(tables)
+
+    from array import array as _array
+
+    total = factorials(n)[n]
+    tables = [_array("q", bytes(8 * total)) for _ in range(len(generators))]
+    for rank, perm in enumerate(_itertools_permutations(range(n))):
+        for g, generator in enumerate(generators):
+            tables[g][rank] = _rank_unchecked([perm[p] for p in generator])
+    return tuple(tables)
+
+
+@lru_cache(maxsize=None)
 def move_tables(n: int) -> Tuple:
     """Precomputed generator move tables for the star graph ``S_n``.
 
@@ -298,32 +418,15 @@ def move_tables(n: int) -> Tuple:
     -free involution of ``0..n!-1`` (generator moves are involutions), which
     is what makes every generator route a perfect matching.
 
-    NumPy ``int64`` arrays when NumPy is available, ``array.array('q')``
-    otherwise.  Tables are cached per degree and shared by every consumer.
+    The cached special case of :func:`move_tables_for` with the star's
+    position-exchange generators; tables are shared per degree by every
+    consumer.  This per-degree cache is unbounded on purpose (at most
+    ``MAX_TABLE_DEGREE`` entries can ever exist): the star tables are the
+    substrate of every ``StarGraph``/``StarMachine`` and must keep the PR-1
+    compute-once-per-degree guarantee even when sweeps over many generic
+    generator sets churn the bounded :func:`move_tables_for` LRU.
     """
-    _check_table_degree(n)
+    require_table_degree(n)
     if n < 2:
         return ()
-    if _np is not None:
-        perms = all_permutations_array(n)
-        tables = []
-        for j in range(1, n):
-            swapped = perms.copy()
-            swapped[:, 0] = perms[:, j]
-            swapped[:, j] = perms[:, 0]
-            table = ranks_of(swapped)
-            table.setflags(write=False)
-            tables.append(table)
-        return tuple(tables)
-
-    from array import array as _array
-
-    total = factorials(n)[n]
-    tables = [_array("q", bytes(8 * total)) for _ in range(n - 1)]
-    for rank, perm in enumerate(_itertools_permutations(range(n))):
-        values = list(perm)
-        for j in range(1, n):
-            values[0], values[j] = values[j], values[0]
-            tables[j - 1][rank] = _rank_unchecked(values)
-            values[0], values[j] = values[j], values[0]
-    return tuple(tables)
+    return move_tables_for(star_position_generators(n), n)

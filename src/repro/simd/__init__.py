@@ -36,6 +36,7 @@ from repro.simd.machine import SIMDMachine
 from repro.simd.conflicts import check_unit_route_conflicts, UnitRouteStep
 from repro.simd.plans import UnitRoutePlan, unit_route_plan, unit_route_plan_subset
 from repro.simd.star_machine import StarMachine
+from repro.simd.cayley_machine import CayleyMachine
 from repro.simd.mesh_machine import MeshMachine
 from repro.simd.embedded import EmbeddedMeshMachine
 from repro.simd.kernels import Kernel
@@ -59,6 +60,7 @@ __all__ = [
     "UnitRoutePlan",
     "unit_route_plan",
     "StarMachine",
+    "CayleyMachine",
     "MeshMachine",
     "EmbeddedMeshMachine",
 ]

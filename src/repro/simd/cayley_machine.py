@@ -1,0 +1,103 @@
+"""SIMD machine over an arbitrary permutation Cayley network.
+
+:class:`CayleyMachine` is the generic sibling of
+:class:`~repro.simd.star_machine.StarMachine`: one PE per permutation of
+``0..n-1`` (dense register index = Lehmer rank) connected by the generator
+set of any :class:`~repro.topology.cayley.CayleyGraph` -- pancake,
+bubble-sort, any transposition tree.  Its :meth:`CayleyMachine.route_generator`
+is the same one-gather fast path the star machine uses
+(:meth:`~repro.simd.machine.SIMDMachine.route_matching_table`): the
+per-generator move table is validated once as a perfect matching
+(:mod:`repro.simd.generator_routes`) and every route, masked or not, replays
+as integer gathers with no per-move conflict bookkeeping.
+
+Because the machine interface is identical, the generator-scheduled
+broadcast/reduction programs in :mod:`repro.algorithms.cayley` run unchanged
+on every family; the star graph is just the star-tree instance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import InvalidParameterError
+from repro.permutations.ranking import within_table_degree
+from repro.simd.generator_routes import validated_matching
+from repro.simd.machine import SIMDMachine
+from repro.simd.masks import Mask, MaskSource
+from repro.topology.cayley import CayleyGraph
+from repro.utils.validation import check_in_range
+
+__all__ = ["CayleyMachine"]
+
+
+class CayleyMachine(SIMDMachine):
+    """An SIMD multicomputer whose interconnection network is a Cayley graph."""
+
+    def __init__(self, graph: CayleyGraph, *, check_conflicts: bool = True):
+        if not isinstance(graph, CayleyGraph):
+            raise InvalidParameterError(
+                f"CayleyMachine needs a CayleyGraph, got {type(graph).__name__}"
+            )
+        super().__init__(graph, check_conflicts=check_conflicts)
+        # Node order is rank order (lexicographic), so the dense register
+        # index of a node IS its Lehmer rank and the move tables apply as-is.
+        self._generator_moves: dict = {}
+
+    @property
+    def graph(self) -> CayleyGraph:
+        """The underlying Cayley graph."""
+        return self.topology  # type: ignore[return-value]
+
+    @property
+    def n(self) -> int:
+        """Degree parameter (number of symbols) of the Cayley graph."""
+        return self.graph.n
+
+    def _generator_table(self, generator: int) -> list:
+        """Move table for one generator as a plain int list, validated once."""
+        table = self._generator_moves.get(generator)
+        if table is None:
+            table = validated_matching(
+                self.graph.move_tables()[generator],
+                f"move table for generator {self.graph.generator_names[generator]}",
+            )
+            self._generator_moves[generator] = table
+        return table
+
+    def route_generator(
+        self,
+        source_register: str,
+        destination_register: str,
+        generator: int,
+        *,
+        where: MaskSource = None,
+        label: Optional[str] = None,
+    ) -> None:
+        """One SIMD-A unit route: every active PE sends along one generator.
+
+        *generator* is the 0-based index into ``graph.generators`` (the same
+        order as ``neighbors()`` and the move-table columns); PE ``pi``
+        transmits the value of *source_register* to PE ``pi o g`` where it is
+        stored in *destination_register*.
+        """
+        check_in_range(generator, "generator", 0, self.graph.num_generators - 1)
+        label = label or f"generator-{self.graph.generator_names[generator]}"
+        if not within_table_degree(self.n):
+            # No dense tables at this degree: route through the validated
+            # tuple-based generic path, mirroring StarMachine's fallback.
+            mask = Mask.coerce(self.topology, where)
+            moves = [
+                (node, self.graph.neighbor_along(node, generator))
+                for node in self._nodes
+                if mask.is_active(node)
+            ]
+            self.route_moves(source_register, destination_register, moves, label=label)
+            return
+        self.route_matching_table(
+            self._generator_table(generator),
+            source_register,
+            destination_register,
+            where=where,
+            label=label,
+        )

@@ -1,0 +1,37 @@
+"""Perfect-matching validation for Cayley generator routes.
+
+A generator of a permutation Cayley network (star, pancake, bubble-sort,
+any transposition tree) is an involution, so its per-degree move table is a
+fixed-point-free involution of ``0..n!-1`` -- a perfect matching of the PEs.
+That invariant is what makes the SIMD-A route "every active PE transmits
+along generator ``g``" conflict-free by construction: any subset of a perfect
+matching is a valid unit route.
+
+:func:`validated_matching` checks the invariant once per machine and
+generator; the route itself is
+:meth:`repro.simd.machine.SIMDMachine.route_matching_table`, the one-gather
+fast path shared by :class:`~repro.simd.star_machine.StarMachine` and
+:class:`~repro.simd.cayley_machine.CayleyMachine`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["validated_matching"]
+
+
+def validated_matching(table, description: str) -> List[int]:
+    """Load a move table as a plain int list, validated as a perfect matching.
+
+    The table must be a fixed-point-free involution (``table[table[i]] == i``
+    and ``table[i] != i`` for every ``i``); *description* names the table in
+    the (structurally impossible) failure message.  The validation runs once
+    per machine and generator -- it is what lets every masked subset of the
+    route skip the per-move conflict check.
+    """
+    values = table.tolist() if hasattr(table, "tolist") else list(table)
+    if any(values[values[index]] != index or values[index] == index
+           for index in range(len(values))):  # pragma: no cover - structural
+        raise AssertionError(f"{description} is not a perfect matching")
+    return values

@@ -310,6 +310,53 @@ class SIMDMachine:
             destination[dst] = value
         self._stats.record_route(messages=len(moves), label=label)
 
+    def route_matching_table(
+        self,
+        table: Sequence[int],
+        source_register: str,
+        destination_register: str,
+        *,
+        where: MaskSource = None,
+        label: str = "route",
+    ) -> None:
+        """One SIMD-A unit route through a validated perfect-matching move table.
+
+        *table* maps every PE index to its partner's index and must be a
+        fixed-point-free involution of the PE ids whose pairs are topology
+        links -- validated once by the caller (see
+        :func:`repro.simd.generator_routes.validated_matching`), which is
+        what lets every masked subset skip the per-move conflict check: any
+        subset of a perfect matching is a valid unit route.  Unmasked, the
+        route is a single whole-register gather (receiver ``i`` hears from
+        sender ``table[i]``); ledger entries are identical to routing the
+        same moves through :meth:`route_moves`.
+
+        This is the fast path of the Cayley generator routes
+        (:meth:`~repro.simd.star_machine.StarMachine.route_generator`,
+        :meth:`~repro.simd.cayley_machine.CayleyMachine.route_generator`),
+        whose canonical node order matches the table's rank order.
+        """
+        if len(table) != len(self._nodes):
+            raise SimulationError(
+                f"matching table covers {len(table)} PEs but the machine has "
+                f"{len(self._nodes)}"
+            )
+        if where is None:
+            source = self._register(source_register)
+            if destination_register not in self._registers:
+                self.define_register(destination_register)
+            destination = self._register(destination_register)
+            destination[:] = [source[sender] for sender in table]
+            self._stats.record_route(messages=self.num_pes, label=label)
+            return
+        self.route_indexed(
+            source_register,
+            destination_register,
+            [(index, table[index]) for index in self._active_indices(where)],
+            label=label,
+            check_conflicts=False,
+        )
+
     def route_paths(
         self,
         source_register: str,

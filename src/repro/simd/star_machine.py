@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.permutations.ranking import MAX_TABLE_DEGREE
+from repro.permutations.ranking import within_table_degree
+from repro.simd.generator_routes import validated_matching
 from repro.simd.machine import SIMDMachine
 from repro.simd.masks import Mask, MaskSource
 from repro.topology.star import StarGraph
@@ -52,13 +53,10 @@ class StarMachine(SIMDMachine):
         """
         table = self._generator_moves.get(generator)
         if table is None:
-            raw = self.star.move_tables()[generator - 1]
-            table = raw.tolist() if hasattr(raw, "tolist") else list(raw)
-            if any(table[table[index]] != index or table[index] == index
-                   for index in range(len(table))):  # pragma: no cover - structural
-                raise AssertionError(
-                    f"move table for generator {generator} is not a perfect matching"
-                )
+            table = validated_matching(
+                self.star.move_tables()[generator - 1],
+                f"move table for generator {generator}",
+            )
             self._generator_moves[generator] = table
         return table
 
@@ -89,7 +87,7 @@ class StarMachine(SIMDMachine):
         """
         check_in_range(generator, "generator", 1, self.n - 1)
         label = label or f"generator-{generator}"
-        if self.n > MAX_TABLE_DEGREE:
+        if not within_table_degree(self.n):
             # No dense tables at this degree: route through the validated
             # tuple-based generic path, as the pre-fast-core machine did.
             mask = Mask.coerce(self.topology, where)
@@ -100,45 +98,10 @@ class StarMachine(SIMDMachine):
             ]
             self.route_moves(source_register, destination_register, moves, label=label)
             return
-        table = self._generator_table(generator)
-        if where is None:
-            # Full generator route: the table is an involution, so receiver
-            # `index` hears from sender `table[index]` -- one whole-register
-            # gather, no per-move conflict bookkeeping needed.
-            source = self._register(source_register)
-            if destination_register not in self._registers:
-                self.define_register(destination_register)
-            destination = self._register(destination_register)
-            destination[:] = [source[sender] for sender in table]
-            self._stats.record_route(messages=self.num_pes, label=label)
-            return
-        if isinstance(where, Mask) and where.topology == self.topology:
-            flags = where.dense_flags()
-            moves = [
-                (index, table[index])
-                for index in range(len(self._nodes))
-                if flags[index]
-            ]
-        elif callable(where):
-            moves = [
-                (index, table[index])
-                for index, node in enumerate(self._nodes)
-                if where(node)
-            ]
-        else:
-            mask = Mask.coerce(self.topology, where)
-            is_active = mask.is_active
-            moves = [
-                (index, table[index])
-                for index, node in enumerate(self._nodes)
-                if is_active(node)
-            ]
-        # Any subset of a perfect matching is conflict-free (validated when the
-        # table was first loaded), so the integer check is skipped.
-        self.route_indexed(
+        self.route_matching_table(
+            self._generator_table(generator),
             source_register,
             destination_register,
-            moves,
+            where=where,
             label=label,
-            check_conflicts=False,
         )

@@ -10,6 +10,11 @@ The paper studies three families of static interconnection networks:
 * the **hypercube** :class:`~repro.topology.hypercube.Hypercube` ``Q_n`` --
   the network the star graph is compared against in the introduction.
 
+Beyond the paper's three, :mod:`repro.topology.cayley` generalises the star
+graph to the whole permutation Cayley family -- pancake, bubble-sort and
+arbitrary transposition-tree networks, parameterized by generator sets and
+running on the same rank-indexed fast core.
+
 All of them implement the small :class:`~repro.topology.base.Topology`
 interface (nodes, neighbours, distance, shortest path, diameter, degree) so
 the embedding metrics, the SIMD simulator and the experiments can be written
@@ -20,6 +25,14 @@ from repro.topology.base import Topology
 from repro.topology.star import StarGraph
 from repro.topology.mesh import Mesh, paper_mesh
 from repro.topology.hypercube import Hypercube
+from repro.topology.cayley import (
+    CayleyGraph,
+    PancakeGraph,
+    TranspositionCayleyGraph,
+    TranspositionTreeGraph,
+    BubbleSortGraph,
+    bubble_sort_distance,
+)
 from repro.topology.routing import (
     star_route,
     star_distance,
@@ -50,6 +63,12 @@ __all__ = [
     "Mesh",
     "paper_mesh",
     "Hypercube",
+    "CayleyGraph",
+    "PancakeGraph",
+    "TranspositionCayleyGraph",
+    "TranspositionTreeGraph",
+    "BubbleSortGraph",
+    "bubble_sort_distance",
     "star_route",
     "star_distance",
     "star_distances_between",

@@ -12,6 +12,7 @@ from repro.experiments.claims import (
     exp_dilation,
     exp_lemma1_no_dilation1,
     exp_lemma2_transposition_distance,
+    exp_network_family,
     exp_optimal_dimension,
     exp_sorting,
     exp_star_properties,
@@ -129,12 +130,44 @@ class TestStarVsHypercube:
 
     def test_row_count(self):
         result = exp_star_vs_hypercube.run(max_degree=6, embedding_degrees=(3,))
-        # 5 formula rows (degrees 2..6), 9 measured rows (S_3..S_6 and
+        # 5 formula rows (degrees 2..6), 17 measured rows (S/P/B_3..6 and
         # Q_2..Q_6 are all under the sweep's node bound), 1 embedding row.
-        assert len(result.rows) == 5 + 9 + 1
+        assert len(result.rows) == 5 + 17 + 1
 
     def test_measured_diameters_match_formulas(self):
         result = exp_star_vs_hypercube.run(max_degree=5, embedding_degrees=(3,))
         measured = [row for row in result.rows if "measured" in row[0]]
         assert measured
         assert all("(formula" in row[2] for row in measured)
+
+
+class TestNetworkFamily:
+    def test_claim(self):
+        result = exp_network_family.run(degrees=(3, 4), fault_trials=3)
+        result.assert_claim()
+
+    def test_all_four_networks_per_degree(self):
+        result = exp_network_family.run(degrees=(3, 4), fault_trials=1)
+        networks = [row[1] for row in result.rows]
+        assert networks == ["S_4", "P_4", "B_4", "Q_3", "S_5", "P_5", "B_5", "Q_4"]
+
+    def test_permutation_families_share_node_count(self):
+        result = exp_network_family.run(degrees=(3,), fault_trials=1)
+        by_network = {row[1]: row for row in result.rows}
+        assert by_network["S_4"][2] == by_network["P_4"][2] == by_network["B_4"][2] == 24
+        assert by_network["Q_3"][2] == 8
+
+    def test_measured_diameters_quote_formulas(self):
+        result = exp_network_family.run(degrees=(3,), fault_trials=1)
+        by_network = {row[1]: row[3] for row in result.rows}
+        assert by_network["S_4"] == "4 (formula 4)"
+        assert by_network["P_4"] == "4 (formula 4)"  # known pancake number
+        assert by_network["B_4"] == "6 (formula 6)"  # n(n-1)/2
+        assert by_network["Q_3"] == "3 (formula 3)"
+
+    def test_broadcast_column_only_for_permutation_families(self):
+        result = exp_network_family.run(degrees=(3,), fault_trials=1)
+        by_network = {row[1]: row[7] for row in result.rows}
+        assert by_network["Q_3"] == "-"
+        for name in ("S_4", "P_4", "B_4"):
+            assert "routes" in by_network[name]

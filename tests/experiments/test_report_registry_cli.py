@@ -68,8 +68,8 @@ class TestExperimentResult:
 
 
 class TestRegistry:
-    def test_sixteen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 16
+    def test_seventeen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 17
         assert set(list_experiments()) == set(EXPERIMENTS)
 
     def test_specs_have_titles_and_matching_ids(self):
@@ -123,6 +123,27 @@ class TestCli:
         assert "FIG7" in output and "THM4" in output
         assert "Figure 7: mapping of V(D_4) into V(S_4)" in output
         assert "Theorem 4" in output
+
+    def test_list_json_catalogue(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalogue = json.loads(capsys.readouterr().out)
+        assert [entry["experiment_id"] for entry in catalogue] == list_experiments()
+        by_id = {entry["experiment_id"]: entry for entry in catalogue}
+        assert by_id["THM4"]["title"].startswith("Theorem 4")
+        assert by_id["THM4"]["profiles"] == ["default", "fast", "heavy"]
+        # FIG4 has no named overrides: only the default profile is listed.
+        assert by_id["FIG4"]["profiles"] == ["default"]
+        for entry in catalogue:
+            assert entry["profiles"][0] == "default"
+            assert set(entry["profiles"]) <= set(PROFILES)
+
+    def test_run_network_family_fast(self, capsys):
+        assert main(["run", "network-family", "--fast"]) == 0
+        output = capsys.readouterr().out
+        # Comparison rows for all four networks at the fast degrees.
+        for network in ("S_4", "P_4", "B_4", "Q_3", "S_5", "P_5", "B_5", "Q_4"):
+            assert network in output
+        assert "claim_holds: True" in output
 
     def test_run_single_experiment(self, capsys):
         assert main(["run", "FIG4"]) == 0

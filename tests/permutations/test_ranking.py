@@ -5,13 +5,24 @@ from itertools import permutations as itertools_permutations
 
 import pytest
 
-from repro.exceptions import InvalidParameterError, InvalidPermutationError
+from repro.exceptions import (
+    InvalidParameterError,
+    InvalidPermutationError,
+    TableDegreeError,
+)
 from repro.permutations.ranking import (
+    MAX_TABLE_DEGREE,
     all_permutations,
+    all_permutations_array,
     lehmer_code,
     lehmer_decode,
+    move_tables,
+    move_tables_for,
     permutation_rank,
     permutation_unrank,
+    require_table_degree,
+    star_position_generators,
+    within_table_degree,
 )
 
 
@@ -85,3 +96,91 @@ class TestAllPermutations:
     def test_rejects_bad_degree(self):
         with pytest.raises(InvalidParameterError):
             all_permutations(0)
+
+
+class TestTableDegreeGuard:
+    """The unified dense-table overflow path (one exception, one message)."""
+
+    def test_within_table_degree_boundary(self):
+        assert within_table_degree(MAX_TABLE_DEGREE)
+        assert not within_table_degree(MAX_TABLE_DEGREE + 1)
+
+    def test_require_table_degree_passes_in_range(self):
+        require_table_degree(MAX_TABLE_DEGREE)  # must not raise
+
+    def test_every_table_entry_point_raises_the_same_error(self):
+        over = MAX_TABLE_DEGREE + 1
+        messages = set()
+        for call in (
+            lambda: require_table_degree(over),
+            lambda: move_tables(over),
+            lambda: move_tables_for(((1, 0) + tuple(range(2, over)),), over),
+            lambda: all_permutations_array(over),
+        ):
+            with pytest.raises(TableDegreeError) as excinfo:
+                call()
+            messages.add(str(excinfo.value))
+        assert messages == {
+            f"dense per-degree tables are limited to n <= {MAX_TABLE_DEGREE}, got {over}"
+        }
+
+    def test_table_degree_error_is_an_invalid_parameter_error(self):
+        # Pre-unification callers caught InvalidParameterError; they still can.
+        with pytest.raises(InvalidParameterError):
+            require_table_degree(MAX_TABLE_DEGREE + 1)
+
+    def test_require_rejects_degree_zero(self):
+        with pytest.raises(InvalidParameterError):
+            require_table_degree(0)
+
+
+class TestMoveTablesFor:
+    def test_star_tables_are_the_special_case(self):
+        generic = move_tables_for(star_position_generators(5), 5)
+        star = move_tables(5)
+        assert len(generic) == len(star)
+        for a, b in zip(generic, star):
+            assert list(map(int, a)) == list(map(int, b))
+
+    def test_cached_per_generator_set(self):
+        generators = star_position_generators(4)
+        assert move_tables_for(generators, 4) is move_tables_for(generators, 4)
+
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            (0, 2, 1, 3),          # adjacent transposition (bubble-sort style)
+            (3, 1, 2, 0),          # non-adjacent transposition
+            (1, 0, 3, 2),          # product of two disjoint transpositions
+            (3, 2, 1, 0),          # full reversal (pancake r_4)
+        ],
+    )
+    def test_tables_are_fixed_point_free_involutions(self, generator):
+        (table,) = move_tables_for((generator,), 4)
+        for rank in range(len(table)):
+            image = int(table[rank])
+            assert image != rank
+            assert int(table[image]) == rank
+
+    def test_table_agrees_with_tuple_application(self):
+        generator = (2, 1, 0, 3)  # transposition of positions 0 and 2
+        (table,) = move_tables_for((generator,), 4)
+        for rank, perm in enumerate(all_permutations(4)):
+            moved = tuple(perm[p] for p in generator)
+            assert int(table[rank]) == permutation_rank(moved)
+
+    def test_rejects_identity_generator(self):
+        with pytest.raises(InvalidParameterError):
+            move_tables_for(((0, 1, 2),), 3)
+
+    def test_rejects_non_involution(self):
+        with pytest.raises(InvalidParameterError):
+            move_tables_for(((1, 2, 0),), 3)
+
+    def test_rejects_duplicate_generators(self):
+        with pytest.raises(InvalidParameterError):
+            move_tables_for(((1, 0, 2), (1, 0, 2)), 3)
+
+    def test_rejects_wrong_degree_generator(self):
+        with pytest.raises(InvalidParameterError):
+            move_tables_for(((1, 0),), 3)

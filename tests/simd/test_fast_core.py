@@ -60,7 +60,11 @@ class TestMoveTables:
             pytest.skip("NumPy unavailable; the fallback IS the implementation")
         fast = move_tables(5)
         monkeypatch.setattr(ranking, "_np", None)
-        slow = move_tables.__wrapped__(5)
+        # The shared implementation (and its fallback) lives in move_tables_for;
+        # __wrapped__ bypasses the per-(generators, degree) cache.
+        slow = ranking.move_tables_for.__wrapped__(
+            ranking.star_position_generators(5), 5
+        )
         for fast_table, slow_table in zip(fast, slow):
             assert list(map(int, fast_table)) == list(slow_table)
 

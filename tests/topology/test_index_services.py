@@ -17,6 +17,12 @@ import random
 
 import pytest
 
+from repro.topology.cayley import (
+    BubbleSortGraph,
+    PancakeGraph,
+    TranspositionCayleyGraph,
+    TranspositionTreeGraph,
+)
 from repro.topology.hypercube import Hypercube
 from repro.topology.mesh import Mesh, paper_mesh
 from repro.topology.properties import (
@@ -48,6 +54,14 @@ def small_topologies():
         Mesh((5,)),
         Hypercube(2),
         Hypercube(4),
+        # The Cayley families (PR 4) ride the same parity suite: table
+        # round-trip, BFS-vs-dict, fault flood, distance summary.
+        PancakeGraph(3),
+        PancakeGraph(4),
+        BubbleSortGraph(4),
+        TranspositionTreeGraph.star(4),
+        TranspositionTreeGraph(5, ((0, 2), (1, 2), (2, 3), (3, 4))),
+        TranspositionCayleyGraph(4, ((0, 1), (1, 2), (2, 3), (0, 3))),
     ]
 
 
