@@ -107,6 +107,23 @@ def generator_tree_plan(topology: Topology, root_index: int) -> GeneratorTreePla
     the same graph shares the plan.  The cache is bounded: a plan holds
     O(num_nodes) indices, so sweeping many roots on a large graph must not
     pin one plan per source forever.
+
+    Parameters
+    ----------
+    topology : Topology
+        A permutation Cayley topology exposing dense ``move_tables()``.
+    root_index : int
+        Dense node id of the tree root.
+
+    Returns
+    -------
+    GeneratorTreePlan
+        The compiled phase schedule.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the topology has no dense move tables or is not connected.
     """
     if not _tree_supported(topology):
         raise InvalidParameterError(
@@ -149,15 +166,29 @@ def cayley_broadcast_tree(
     """Broadcast the value at *source_node* to every PE along the BFS tree.
 
     SIMD-A schedule: one generator per unit route, parents at depth ``d - 1``
-    transmitting to their children at depth ``d``.  The value ends up in
-    register *result* (defaults to ``register + "_bcast"``) on every PE;
-    returns the number of unit routes issued (``plan.num_unit_routes``, at
-    most ``diameter * num_generators`` and at least the BFS depth).
-
-    Runs on any machine over a permutation Cayley topology with dense move
-    tables (:class:`~repro.simd.cayley_machine.CayleyMachine`,
+    transmitting to their children at depth ``d``.  Runs on any machine over
+    a permutation Cayley topology with dense move tables
+    (:class:`~repro.simd.cayley_machine.CayleyMachine`,
     :class:`~repro.simd.star_machine.StarMachine`); other machines take the
     per-call reference path.
+
+    Parameters
+    ----------
+    machine : SIMDMachine
+        The machine whose register to broadcast.
+    source_node : tuple of int
+        Node holding the value to spread.
+    register : str
+        Source register name.
+    result : str, optional
+        Destination register (default ``register + "_bcast"``); afterwards it
+        holds the value on every PE.
+
+    Returns
+    -------
+    int
+        Unit routes issued (``plan.num_unit_routes``, at most
+        ``diameter * num_generators`` and at least the BFS depth).
     """
     topology = machine.topology
     if not _tree_supported(topology):
@@ -197,11 +228,27 @@ def cayley_reduce_tree(
     The broadcast schedule in reverse: children at depth ``d`` push their
     partial results to their tree parents (one generator per unit route,
     deepest phases first), each followed by a fold masked to exactly the
-    receiving parents.  *operator* must be associative; values are folded in
-    a deterministic phase order, so commutativity is not required for
-    reproducibility.  Returns the reduced value (also left in register
-    *result*, default ``register + "_red"``, at *root_node* -- default the
-    rank-0 node, the identity permutation).
+    receiving parents.
+
+    Parameters
+    ----------
+    machine : SIMDMachine
+        The machine whose register to reduce.
+    register : str
+        Source register name.
+    operator : callable
+        Associative binary fold; values fold in a deterministic phase order,
+        so commutativity is not required for reproducibility.
+    root_node : tuple of int, optional
+        Where the result lands (default the rank-0 node, the identity
+        permutation).
+    result : str, optional
+        Result register (default ``register + "_red"``).
+
+    Returns
+    -------
+    object
+        The reduced value (also left in *result* at *root_node*).
     """
     topology = machine.topology
     if not _tree_supported(topology):
@@ -251,8 +298,18 @@ def cayley_allreduce_tree(
 ) -> object:
     """Reduce and broadcast back: every PE ends up holding the reduced value.
 
-    Returns the reduced value; register *result* (default ``register +
-    "_all"``) holds it on every PE afterwards.
+    Parameters
+    ----------
+    machine, register, operator, root_node
+        As in :func:`cayley_reduce_tree`.
+    result : str, optional
+        Result register (default ``register + "_all"``); holds the reduced
+        value on every PE afterwards.
+
+    Returns
+    -------
+    object
+        The reduced value.
     """
     topology = machine.topology
     root = (

@@ -33,6 +33,12 @@ from repro.analysis.optimal_dimension import (
     appendix_cost,
     optimal_dimension_table,
 )
+from repro.analysis.stored import (
+    load_results,
+    stored_result,
+    stored_rows,
+    claim_summary,
+)
 
 __all__ = [
     "star_num_nodes",
@@ -53,4 +59,8 @@ __all__ = [
     "appendix_side_lengths",
     "appendix_cost",
     "optimal_dimension_table",
+    "load_results",
+    "stored_result",
+    "stored_rows",
+    "claim_summary",
 ]

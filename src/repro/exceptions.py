@@ -22,6 +22,7 @@ __all__ = [
     "RouteConflictError",
     "MaskError",
     "ProgramError",
+    "ArtifactError",
 ]
 
 
@@ -82,3 +83,13 @@ class MaskError(SimulationError):
 
 class ProgramError(SimulationError):
     """A SIMD program referenced an undefined register or malformed instruction."""
+
+
+class ArtifactError(ReproError):
+    """An experiment artifact is malformed or violates its declared schema.
+
+    Raised by :mod:`repro.experiments.artifacts` when a stored record misses
+    required fields, when a result's table columns diverge from the
+    experiment's declared :class:`~repro.experiments.artifacts.ArtifactSchema`,
+    or when an on-disk store entry cannot be parsed.
+    """

@@ -10,10 +10,19 @@ lists and runs them and renders the results as plain-text tables.
 The benchmark suite under ``benchmarks/`` wraps the same ``run`` functions in
 pytest-benchmark fixtures, so "the code that regenerates Table/Figure X" and
 "the benchmark for Table/Figure X" are literally the same code path.
+
+Results persist: the sharded runner (:mod:`repro.experiments.runner`) fans
+the registry out over worker processes and writes one content-addressed JSON
+artifact per ``(experiment, profile, params)`` into an
+:class:`~repro.experiments.artifacts.ArtifactStore` (``repro-star run all
+--jobs N --out results/``), which ``repro-star report`` renders as a static
+Markdown/HTML page.
 """
 
+from repro.experiments.artifacts import ArtifactSchema, ArtifactStore, artifact_key
 from repro.experiments.report import ExperimentResult, format_table, render_result
 from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment, list_experiments
+from repro.experiments.runner import RunReport, Shard, plan_shards, run_shards
 
 __all__ = [
     "ExperimentResult",
@@ -23,4 +32,11 @@ __all__ = [
     "get_experiment",
     "run_experiment",
     "list_experiments",
+    "ArtifactSchema",
+    "ArtifactStore",
+    "artifact_key",
+    "RunReport",
+    "Shard",
+    "plan_shards",
+    "run_shards",
 ]

@@ -17,13 +17,31 @@ from __future__ import annotations
 import math
 
 from repro.algorithms.broadcast import mesh_broadcast, star_broadcast_bound, star_broadcast_greedy
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.simd.embedded import EmbeddedMeshMachine
 from repro.simd.mesh_machine import MeshMachine
 from repro.simd.star_machine import StarMachine
 from repro.topology.mesh import paper_mesh
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "n",
+        "PEs",
+        "star broadcast unit routes (greedy)",
+        "paper bound ~3 n lg n",
+        "lower bound ceil(lg n!)",
+        "mesh broadcast unit routes (native)",
+        "mesh unit routes (embedded)",
+        "star unit routes (embedded)",
+        "star/mesh ratio",
+    ),
+    summary_keys=("claim_holds",),
+)
 
 
 def run(degrees=(3, 4, 5, 6)) -> ExperimentResult:
@@ -76,17 +94,7 @@ def run(degrees=(3, 4, 5, 6)) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="PROP-B",
         title="Broadcasting: direct star broadcast vs the 3 n lg n bound, and mesh broadcast via the embedding",
-        headers=[
-            "n",
-            "PEs",
-            "star broadcast unit routes (greedy)",
-            "paper bound ~3 n lg n",
-            "lower bound ceil(lg n!)",
-            "mesh broadcast unit routes (native)",
-            "mesh unit routes (embedded)",
-            "star unit routes (embedded)",
-            "star/mesh ratio",
-        ],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary={"claim_holds": claim},
         notes=[

@@ -23,9 +23,28 @@ from __future__ import annotations
 
 from repro.embedding.mesh_to_star import MeshToStarEmbedding
 from repro.embedding.metrics import measure_embedding, verify_embedding
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "n",
+        "nodes",
+        "mesh edges",
+        "expansion",
+        "dilation",
+        "shortest-path dilation",
+        "avg dilation",
+        "congestion (static)",
+        "edges at dilation 1",
+        "edges at dilation 3",
+    ),
+    summary_keys=("claim_holds",),
+)
 
 
 def run(degrees=(3, 4, 5, 6, 7, 8)) -> ExperimentResult:
@@ -62,18 +81,7 @@ def run(degrees=(3, 4, 5, 6, 7, 8)) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="THM4",
         title="Theorem 4: dilation-3, expansion-1 embedding of D_n into S_n",
-        headers=[
-            "n",
-            "nodes",
-            "mesh edges",
-            "expansion",
-            "dilation",
-            "shortest-path dilation",
-            "avg dilation",
-            "congestion (static)",
-            "edges at dilation 1",
-            "edges at dilation 3",
-        ],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary={"claim_holds": claim},
         notes=[

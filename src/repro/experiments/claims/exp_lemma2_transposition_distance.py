@@ -24,6 +24,7 @@ from itertools import combinations
 from typing import Dict, List
 
 from repro.embedding.paths import transposition_path
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.permutations.permutation import swap_symbols
 from repro.topology.nx_adapter import bfs_distances
@@ -35,7 +36,22 @@ try:  # pragma: no cover - exercised indirectly on both branches
 except ImportError:  # pragma: no cover - the image bakes NumPy in
     _np = None
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "n",
+        "nodes checked",
+        "pairs at distance 1",
+        "pairs at distance 3",
+        "pairs at other distances",
+        "canonical path shortest",
+        "distance-1 iff symbol at front",
+    ),
+    summary_keys=("claim_holds",),
+)
 
 
 def _pair_distances(star: StarGraph, a: int, b: int):
@@ -148,15 +164,7 @@ def run(
     return ExperimentResult(
         experiment_id="LEM2",
         title="Lemma 2: distance between pi and pi_(i,j) is 1 or 3",
-        headers=[
-            "n",
-            "nodes checked",
-            "pairs at distance 1",
-            "pairs at distance 3",
-            "pairs at other distances",
-            "canonical path shortest",
-            "distance-1 iff symbol at front",
-        ],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary={"claim_holds": overall_ok},
         notes=[

@@ -38,12 +38,29 @@ from repro.analysis.comparison import (
     measured_instances,
     measured_network_rows,
 )
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.simd.cayley_machine import CayleyMachine
 from repro.topology.cayley import TranspositionTreeGraph
 from repro.topology.properties import connectivity_after_faults, verify_regular
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "degree",
+        "network",
+        "nodes",
+        "diameter (measured)",
+        "avg distance",
+        "regular",
+        "connected after degree-1 faults",
+        "tree broadcast",
+    ),
+    summary_keys=("claim_holds",),
+)
 
 #: Largest machine (PE count) the broadcast-replay column builds per row.
 _MAX_BROADCAST_NODES = 5040
@@ -124,16 +141,7 @@ def run(degrees=(3, 4, 5), fault_trials: int = 5, seed: int = 9) -> ExperimentRe
     return ExperimentResult(
         experiment_id="NETWORK-FAMILY",
         title="Cayley network family: star vs pancake vs bubble-sort vs hypercube",
-        headers=[
-            "degree",
-            "network",
-            "nodes",
-            "diameter (measured)",
-            "avg distance",
-            "regular",
-            "connected after degree-1 faults",
-            "tree broadcast",
-        ],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary={"claim_holds": claim},
         notes=[

@@ -17,9 +17,27 @@ import math
 
 from repro.analysis.optimal_dimension import appendix_cost, optimal_dimension_table
 from repro.embedding.uniform import factorise_paper_mesh, optimal_simulation_dimension
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "n",
+        "N = n!",
+        "2-D factorisation",
+        "best d (discrete argmin)",
+        "analytic d ~ sqrt(log N)/2",
+        "best side lengths",
+        "cost at best d",
+        "cost at d = n-1 (no reshape)",
+        "factorisation valid",
+    ),
+    summary_keys=("claim_holds",),
+)
 
 
 def run(degrees=(5, 6, 7, 8, 9, 10)) -> ExperimentResult:
@@ -61,17 +79,7 @@ def run(degrees=(5, 6, 7, 8, 9, 10)) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="APP",
         title="Appendix: factorising D_n into d dimensions and the optimal simulation dimension",
-        headers=[
-            "n",
-            "N = n!",
-            "2-D factorisation",
-            "best d (discrete argmin)",
-            "analytic d ~ sqrt(log N)/2",
-            "best side lengths",
-            "cost at best d",
-            "cost at d = n-1 (no reshape)",
-            "factorisation valid",
-        ],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary={"claim_holds": claim},
         notes=[

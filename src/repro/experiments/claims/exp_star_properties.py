@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 
 from repro.analysis.bounds import star_diameter, star_num_edges
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.topology.nx_adapter import node_connectivity
 from repro.topology.properties import (
@@ -36,7 +37,24 @@ from repro.topology.properties import (
 from repro.topology.routing import bfs_distances_from
 from repro.topology.star import StarGraph
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "n",
+        "nodes",
+        "diameter floor(3(n-1)/2)",
+        "diameter (BFS)",
+        "regular of degree n-1",
+        "edge count matches n!(n-1)/2",
+        "vertex-symmetric (sampled)",
+        "node connectivity",
+        "connected after n-2 random faults",
+    ),
+    summary_keys=("claim_holds",),
+)
 
 
 def _bfs_diameter(star: StarGraph) -> int:
@@ -87,17 +105,7 @@ def run(degrees=(3, 4, 5, 6, 7), fault_trials: int = 20, seed: int = 1) -> Exper
     return ExperimentResult(
         experiment_id="PROP-D",
         title="Section 2: star-graph structural properties (diameter, symmetry, fault tolerance)",
-        headers=[
-            "n",
-            "nodes",
-            "diameter floor(3(n-1)/2)",
-            "diameter (BFS)",
-            "regular of degree n-1",
-            "edge count matches n!(n-1)/2",
-            "vertex-symmetric (sampled)",
-            "node connectivity",
-            "connected after n-2 random faults",
-        ],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary={"claim_holds": claim},
         notes=[

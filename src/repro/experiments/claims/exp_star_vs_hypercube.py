@@ -20,10 +20,24 @@ from repro.analysis.comparison import (
 from repro.embedding.mesh_to_hypercube import MeshToHypercubeEmbedding
 from repro.embedding.mesh_to_star import MeshToStarEmbedding
 from repro.embedding.metrics import measure_embedding
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.topology.mesh import paper_mesh
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "comparison",
+        "star graph",
+        "hypercube",
+        "ratio (nodes / expansion)",
+        "cube dim for >= n! nodes",
+    ),
+    summary_keys=("claim_holds",),
+)
 
 
 def run(max_degree: int = 9, embedding_degrees=(3, 4, 5, 6)) -> ExperimentResult:
@@ -79,13 +93,7 @@ def run(max_degree: int = 9, embedding_degrees=(3, 4, 5, 6)) -> ExperimentResult
     return ExperimentResult(
         experiment_id="CMP",
         title="Introduction: star graph vs hypercube (networks and mesh embeddings)",
-        headers=[
-            "comparison",
-            "star graph",
-            "hypercube",
-            "ratio (nodes / expansion)",
-            "cube dim for >= n! nodes",
-        ],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows + measured_rows + embedding_rows,
         summary={"claim_holds": claim},
         notes=[

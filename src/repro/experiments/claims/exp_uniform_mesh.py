@@ -19,9 +19,26 @@ from __future__ import annotations
 import math
 
 from repro.analysis.simulation_cost import measured_uniform_contraction, uniform_simulation_table
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "n",
+        "N = n!",
+        "Theorem 7 slowdown",
+        "Theorem 8 slowdown (x 2^d)",
+        "on star (x dilation 3)",
+        "paper bound N^(n/log^2 N)",
+        "measured max edge stretch (contraction)",
+        "measured max load (contraction)",
+    ),
+    summary_keys=("claim_holds",),
+)
 
 
 def run(degrees=(3, 4, 5, 6, 7, 8), measured_degrees=(3, 4, 5, 6)) -> ExperimentResult:
@@ -61,16 +78,7 @@ def run(degrees=(3, 4, 5, 6, 7, 8), measured_degrees=(3, 4, 5, 6)) -> Experiment
     return ExperimentResult(
         experiment_id="THM9",
         title="Theorems 7-9: per-step slowdown of simulating uniform meshes on the star graph",
-        headers=[
-            "n",
-            "N = n!",
-            "Theorem 7 slowdown",
-            "Theorem 8 slowdown (x 2^d)",
-            "on star (x dilation 3)",
-            "paper bound N^(n/log^2 N)",
-            "measured max edge stretch (contraction)",
-            "measured max load (contraction)",
-        ],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary={"claim_holds": claim},
         notes=[

@@ -6,7 +6,8 @@ Usage
     Print the available experiment identifiers with their titles.
 ``repro-star list --json``
     The same as machine-readable JSON on stdout: one object per experiment
-    (id, title, profile names) -- for tooling that drives the runner.
+    (id, title, profile names) -- for tooling that drives the runner (the
+    docs catalogue page is generated from this output).
 ``repro-star run FIG7 THM4 ...``
     Run the named experiments and print their tables; ``run all`` runs the
     whole registry (this is how EXPERIMENTS.md's measured columns were
@@ -19,9 +20,25 @@ Usage
     Additionally archive the structured results (one JSON object per
     experiment: id, profile, parameters, headers, rows, summary) to a file;
     ``--json -`` writes the JSON to stdout instead of the text tables.
+``repro-star run all --fast --jobs 4 --out results/``
+    Shard the registry over 4 worker processes and persist one
+    content-addressed artifact per ``(experiment, profile, params)`` into
+    ``results/``.  Re-running the same command is a no-op: shards whose key
+    is already in the store are served from disk (``--force`` re-runs them).
+    Sharded payloads are bit-identical to the serial ones -- ``--json`` can
+    be combined with ``--jobs``/``--out`` and emits the same aggregate.
+``repro-star report results/ [--md PATH] [--html PATH]``
+    Render a static report (per-experiment tables, profiles, timings and the
+    environment stamp) from a previously written artifact store; with
+    neither flag the Markdown goes to stdout, ``-`` selects stdout
+    explicitly.
 
-The exit code is non-zero when any executed experiment reports
-``claim_holds: false``, so both the text and the JSON mode are CI-checkable.
+The exit code of ``run`` is non-zero when any executed experiment reports
+``claim_holds: false``, so the text, JSON and store modes are all
+CI-checkable.
+
+Progress lines of a store-backed run (``ran FIG2 ... 0.01s`` / ``cached
+THM4 ...``) go to *stderr*; stdout carries only the tables or the JSON.
 """
 
 from __future__ import annotations
@@ -31,13 +48,20 @@ import json
 import sys
 from typing import List, Optional
 
+from repro.exceptions import ArtifactError
+from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.registry import (
     EXPERIMENTS,
     PROFILES,
-    get_spec,
     list_experiments,
 )
-from repro.experiments.report import json_safe, render_result
+from repro.experiments.report import (
+    render_html_report,
+    render_markdown_report,
+    render_result,
+    result_from_payload,
+)
+from repro.experiments.runner import plan_shards, registry_sorted, run_shards
 
 __all__ = ["main", "build_parser"]
 
@@ -83,7 +107,162 @@ def build_parser() -> argparse.ArgumentParser:
         help="write structured results as JSON to PATH ('-' for stdout, "
         "replacing the text tables)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to shard the experiments over (default: 1, "
+        "the serial reference engine)",
+    )
+    run_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="persist one content-addressed JSON artifact per experiment "
+        "into DIR; already-present shards are not re-run",
+    )
+    run_parser.add_argument(
+        "--force",
+        action="store_true",
+        help="with --out: re-run shards even when their artifact is already "
+        "in the store",
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a static report from an artifact store"
+    )
+    report_parser.add_argument(
+        "store",
+        help="artifact store directory (the --out of a previous run)",
+    )
+    report_parser.add_argument(
+        "--md",
+        metavar="PATH",
+        default=None,
+        help="write the Markdown report to PATH ('-' for stdout)",
+    )
+    report_parser.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help="write the standalone HTML report to PATH ('-' for stdout)",
+    )
+    report_parser.add_argument(
+        "--title",
+        default="Experiment results",
+        help="report heading (default: 'Experiment results')",
+    )
     return parser
+
+
+def _cmd_list(args) -> int:
+    if args.json:
+        catalogue = [
+            {
+                "experiment_id": experiment_id,
+                "title": EXPERIMENTS[experiment_id].title,
+                # "default" is always available; named overrides follow.
+                "profiles": ["default"]
+                + [
+                    p
+                    for p in PROFILES
+                    if p != "default" and p in EXPERIMENTS[experiment_id].profiles
+                ],
+            }
+            for experiment_id in list_experiments()
+        ]
+        print(json.dumps(catalogue, indent=2))
+        return 0
+    width = max(len(experiment_id) for experiment_id in EXPERIMENTS)
+    for experiment_id in list_experiments():
+        print(f"{experiment_id:{width}s}  {EXPERIMENTS[experiment_id].title}")
+    return 0
+
+
+def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
+    if args.profile and args.fast and args.profile != "fast":
+        parser.error("--fast conflicts with --profile " + args.profile)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.force and args.out is None:
+        parser.error("--force requires --out")
+    profile = args.profile or ("fast" if args.fast else "default")
+
+    shards = plan_shards(args.experiments, profile=profile)
+    store = ArtifactStore(args.out) if args.out is not None else None
+    json_to_stdout = args.json == "-"
+    # With jobs=1 shards resolve strictly in order, so tables stream as each
+    # experiment finishes (a multi-minute heavy run shows progress instead of
+    # buffering everything); parallel completion order is arbitrary, so
+    # jobs>1 prints the tables in shard order after the run.
+    stream_tables = not json_to_stdout and args.jobs == 1
+
+    def progress(shard, status, elapsed, record):
+        if store is not None:
+            line = f"{status:6s} {shard.experiment_id:14s} {shard.profile:7s} {shard.key}"
+            if status == "ran":
+                line += f"  {elapsed:.3f}s"
+            print(line, file=sys.stderr)
+        if stream_tables:
+            print(render_result(result_from_payload(record["payload"])))
+            print()
+
+    report = run_shards(
+        shards, jobs=args.jobs, store=store, force=args.force, progress=progress
+    )
+    if store is not None:
+        print(
+            f"{len(shards)} shard(s): {len(report.executed)} ran, "
+            f"{len(report.cached)} cached (store: {store.root})",
+            file=sys.stderr,
+        )
+
+    if not json_to_stdout and not stream_tables:
+        for payload in report.payloads():
+            print(render_result(result_from_payload(payload)))
+            print()
+
+    if args.json is not None:
+        payload_text = json.dumps(report.payloads(), indent=2)
+        if json_to_stdout:
+            print(payload_text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload_text)
+                handle.write("\n")
+    return 0 if report.claims_hold() else 1
+
+
+def _cmd_report(args, parser: argparse.ArgumentParser) -> int:
+    store = ArtifactStore(args.store)
+    records = registry_sorted(store.entries())
+    if not records:
+        raise ArtifactError(
+            f"no artifacts found in {args.store!r}; produce some with "
+            "'repro-star run all --out DIR' first"
+        )
+
+    wants_md = args.md is not None
+    wants_html = args.html is not None
+    if not wants_md and not wants_html:
+        args.md, wants_md = "-", True  # default: Markdown to stdout
+
+    if wants_md:
+        text = render_markdown_report(records, title=args.title)
+        if args.md == "-":
+            print(text, end="")
+        else:
+            with open(args.md, "w") as handle:
+                handle.write(text)
+    if wants_html:
+        text = render_html_report(records, title=args.title)
+        if args.html == "-":
+            print(text, end="")
+        else:
+            with open(args.html, "w") as handle:
+                handle.write(text)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -92,66 +271,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        if args.json:
-            catalogue = [
-                {
-                    "experiment_id": experiment_id,
-                    "title": EXPERIMENTS[experiment_id].title,
-                    # "default" is always available; named overrides follow.
-                    "profiles": ["default"]
-                    + [
-                        p
-                        for p in PROFILES
-                        if p != "default" and p in EXPERIMENTS[experiment_id].profiles
-                    ],
-                }
-                for experiment_id in list_experiments()
-            ]
-            print(json.dumps(catalogue, indent=2))
-            return 0
-        width = max(len(experiment_id) for experiment_id in EXPERIMENTS)
-        for experiment_id in list_experiments():
-            print(f"{experiment_id:{width}s}  {EXPERIMENTS[experiment_id].title}")
-        return 0
-
-    if args.profile and args.fast and args.profile != "fast":
-        parser.error("--fast conflicts with --profile " + args.profile)
-    profile = args.profile or ("fast" if args.fast else "default")
-
-    requested = args.experiments
-    if len(requested) == 1 and requested[0].lower() == "all":
-        requested = list_experiments()
-
-    json_to_stdout = args.json == "-"
-    artifacts = []
-    exit_code = 0
-    for experiment_id in requested:
-        spec = get_spec(experiment_id)
-        params = spec.params(profile)
-        result = spec.run(**params)
-        if not json_to_stdout:
-            print(render_result(result))
-            print()
-        if args.json is not None:
-            artifacts.append(
-                {
-                    "profile": profile,
-                    "params": {key: json_safe(value) for key, value in params.items()},
-                    **result.to_dict(),
-                }
-            )
-        if not result.summary.get("claim_holds", True):
-            exit_code = 1
-
-    if args.json is not None:
-        payload = json.dumps(artifacts, indent=2)
-        if json_to_stdout:
-            print(payload)
-        else:
-            with open(args.json, "w") as handle:
-                handle.write(payload)
-                handle.write("\n")
-    return exit_code
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args, parser)
+    if args.command == "report":
+        return _cmd_report(args, parser)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

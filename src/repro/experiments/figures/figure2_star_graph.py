@@ -12,12 +12,24 @@ so adjacent permutations always have opposite parity).
 
 from __future__ import annotations
 
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.permutations.permutation import Permutation
 from repro.topology.nx_adapter import bfs_eccentricity
 from repro.topology.star import StarGraph
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "node",
+        "neighbours",
+        "degree",
+    ),
+    summary_keys=("nodes", "edges", "degree", "diameter_formula", "diameter_measured", "edge_parity_alternates", "claim_holds"),
+)
 
 
 def run(n: int = 4) -> ExperimentResult:
@@ -58,7 +70,7 @@ def run(n: int = 4) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="FIG2",
         title=f"Figure 2: the star graph S_{n} ({star.num_nodes} nodes, degree {n - 1})",
-        headers=["node", "neighbours", "degree"],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary=summary,
         notes=[

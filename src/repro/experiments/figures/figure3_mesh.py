@@ -11,11 +11,23 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.topology.mesh import paper_mesh
 from repro.topology.properties import edge_count
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "node (d_{n-1}..d_1)",
+        "neighbours",
+        "degree",
+    ),
+    summary_keys=("sides", "nodes", "edges_formula", "edges_enumerated", "max_degree", "min_degree", "diameter", "claim_holds"),
+)
 
 
 def run(n: int = 4) -> ExperimentResult:
@@ -54,7 +66,7 @@ def run(n: int = 4) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="FIG3",
         title=f"Figure 3: the {'*'.join(map(str, reversed(mesh.sides)))} mesh D_{n}",
-        headers=["node (d_{n-1}..d_1)", "neighbours", "degree"],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary=summary,
         notes=[

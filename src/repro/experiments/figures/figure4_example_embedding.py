@@ -21,10 +21,22 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.embedding.base import Embedding
 from repro.embedding.metrics import measure_embedding
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.topology.base import Node, Topology
 
-__all__ = ["run", "ExplicitGraph"]
+__all__ = ["ARTIFACT_SCHEMA", "run", "ExplicitGraph"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "guest edge",
+        "host path",
+        "length",
+    ),
+    summary_keys=("expansion", "dilation", "congestion", "claim_holds"),
+)
 
 
 class ExplicitGraph(Topology):
@@ -99,7 +111,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         experiment_id="FIG4",
         title="Figure 4: example embedding of the 4-cycle into K_{1,3}",
-        headers=["guest edge", "host path", "length"],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary=summary,
         notes=["The paper states expansion 1, dilation 2 and congestion 2 for this example."],

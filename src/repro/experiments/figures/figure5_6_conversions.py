@@ -19,10 +19,23 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from repro.embedding.mesh_to_star import convert_d_s, convert_s_d, exchange_sequence
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.topology.mesh import paper_mesh
 
-__all__ = ["run", "forward_trace", "inverse_trace"]
+__all__ = ["ARTIFACT_SCHEMA", "run", "forward_trace", "inverse_trace"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "procedure",
+        "stage",
+        "exchange",
+        "arrangement",
+    ),
+    summary_keys=("convert_d_s((3,0,1))", "paper_forward_expected", "convert_s_d((0 2 1 3))", "paper_inverse_expected", "round_trip_all_nodes", "claim_holds"),
+)
 
 Node = Tuple[int, ...]
 
@@ -96,7 +109,7 @@ def run(n: int = 4) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="FIG5",
         title="Figures 5 & 6: CONVERT-D-S / CONVERT-S-D on the paper's worked examples",
-        headers=["procedure", "stage", "exchange", "arrangement"],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary=summary,
         notes=[

@@ -12,10 +12,23 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.embedding.mesh_to_star import convert_d_s, convert_s_d
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.topology.mesh import paper_mesh
 
-__all__ = ["run", "PAPER_FIGURE7"]
+__all__ = ["ARTIFACT_SCHEMA", "run", "PAPER_FIGURE7"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "D_4 node",
+        "computed S_4 node",
+        "paper S_4 node",
+        "status",
+    ),
+    summary_keys=("rows", "mismatches", "bijection", "inverse_consistent", "claim_holds"),
+)
 
 #: The table printed in the paper's Figure 7: mesh node -> star node.
 PAPER_FIGURE7: Dict[Tuple[int, int, int], Tuple[int, int, int, int]] = {
@@ -79,7 +92,7 @@ def run() -> ExperimentResult:
     return ExperimentResult(
         experiment_id="FIG7",
         title="Figure 7: mapping of V(D_4) into V(S_4)",
-        headers=["D_4 node", "computed S_4 node", "paper S_4 node", "status"],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary=summary,
     )

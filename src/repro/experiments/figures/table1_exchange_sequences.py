@@ -12,10 +12,22 @@ reproduces exactly :func:`convert_d_s`.
 from __future__ import annotations
 
 from repro.embedding.mesh_to_star import convert_d_s, exchange_sequence
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.topology.mesh import paper_mesh
 
-__all__ = ["run"]
+__all__ = ["ARTIFACT_SCHEMA", "run"]
+
+#: Declared artifact shape: table columns and guaranteed summary keys
+#: (validated on every store write -- see repro.experiments.artifacts).
+ARTIFACT_SCHEMA = ArtifactSchema(
+    columns=(
+        "dimension i",
+        "sequence of exchanges",
+        "row length",
+    ),
+    summary_keys=("dimensions", "row_i_length_equals_i", "prefixes_reproduce_convert_d_s", "claim_holds"),
+)
 
 
 def run(n: int = 6) -> ExperimentResult:
@@ -54,7 +66,7 @@ def run(n: int = 6) -> ExperimentResult:
     return ExperimentResult(
         experiment_id="TAB1",
         title="Table 1: sequence of exchanges per mesh dimension",
-        headers=["dimension i", "sequence of exchanges", "row length"],
+        headers=list(ARTIFACT_SCHEMA.columns),
         rows=rows,
         summary=summary,
         notes=[

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import InvalidParameterError
+from repro.experiments.artifacts import ArtifactSchema
 from repro.experiments.report import ExperimentResult
 from repro.experiments.figures import (
     figure2_star_graph,
@@ -70,7 +71,25 @@ PROFILES: Tuple[str, ...] = ("default", "fast", "heavy")
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One registry entry: title, run function and parameter profiles."""
+    """One registry entry: title, run function, profiles and artifact schema.
+
+    Attributes
+    ----------
+    experiment_id : str
+        Stable identifier (``"FIG7"``, ``"THM4"``, ...).
+    title : str
+        Human-readable title, usually the paper artefact name.
+    run : callable
+        The experiment function; returns an
+        :class:`~repro.experiments.report.ExperimentResult`.
+    profiles : mapping of str to mapping
+        Named parameter overrides (``fast`` / ``heavy``); the implicit
+        ``default`` profile is always the empty override.
+    schema : ArtifactSchema, optional
+        The experiment module's declared artifact shape
+        (:data:`ARTIFACT_SCHEMA`), validated by the sharded runner before a
+        result is persisted.
+    """
 
     experiment_id: str
     title: str
@@ -78,9 +97,26 @@ class ExperimentSpec:
     profiles: Mapping[str, Mapping[str, object]] = field(
         default_factory=lambda: MappingProxyType({})
     )
+    schema: Optional[ArtifactSchema] = None
 
     def params(self, profile: str = "default") -> Dict[str, object]:
-        """The parameter overrides of *profile* (``default`` is always ``{}``)."""
+        """Resolve a profile name into its parameter overrides.
+
+        Parameters
+        ----------
+        profile : str, optional
+            One of :data:`PROFILES`; ``"default"`` always resolves to ``{}``.
+
+        Returns
+        -------
+        dict
+            A fresh, mutable copy of the profile's overrides.
+
+        Raises
+        ------
+        InvalidParameterError
+            If *profile* is not a known profile name.
+        """
         if profile not in PROFILES:
             raise InvalidParameterError(
                 f"unknown profile {profile!r}; available: {', '.join(PROFILES)}"
@@ -91,11 +127,16 @@ class ExperimentSpec:
 def _spec(
     experiment_id: str,
     title: str,
-    run: ExperimentFn,
+    module,
     *,
     fast: Dict[str, object] = None,
     heavy: Dict[str, object] = None,
 ) -> ExperimentSpec:
+    """Build one registry entry from an experiment *module*.
+
+    The module provides ``run`` and its declared ``ARTIFACT_SCHEMA``; the
+    registry adds the title and the named profiles.
+    """
     profiles = {}
     if fast:
         profiles["fast"] = MappingProxyType(fast)
@@ -104,8 +145,9 @@ def _spec(
     return ExperimentSpec(
         experiment_id=experiment_id,
         title=title,
-        run=run,
+        run=module.run,
         profiles=MappingProxyType(profiles),
+        schema=module.ARTIFACT_SCHEMA,
     )
 
 
@@ -116,113 +158,113 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         _spec(
             "FIG2",
             "Figure 2: the star graphs S_3 and S_4",
-            figure2_star_graph.run,
+            figure2_star_graph,
             fast={"n": 4},
             heavy={"n": 5},
         ),
         _spec(
             "FIG3",
             "Figure 3: the 2*3*4 mesh D_4",
-            figure3_mesh.run,
+            figure3_mesh,
             fast={"n": 4},
             heavy={"n": 5},
         ),
         _spec(
             "FIG4",
             "Figure 4: example embedding of the 4-cycle into K_{1,3}",
-            figure4_example_embedding.run,
+            figure4_example_embedding,
         ),
         _spec(
             "FIG5",
             "Figures 5 & 6: CONVERT-D-S / CONVERT-S-D worked examples",
-            figure5_6_conversions.run,
+            figure5_6_conversions,
         ),
         _spec(
             "FIG7",
             "Figure 7: mapping of V(D_4) into V(S_4)",
-            figure7_mapping_table.run,
+            figure7_mapping_table,
         ),
         _spec(
             "TAB1",
             "Table 1: sequence of exchanges per mesh dimension",
-            table1_exchange_sequences.run,
+            table1_exchange_sequences,
             fast={"n": 5},
             heavy={"n": 7},
         ),
         _spec(
             "LEM1",
             "Lemma 1: no dilation-1 embedding of D_n in S_n for n > 2",
-            exp_lemma1_no_dilation1.run,
+            exp_lemma1_no_dilation1,
             fast={"max_n": 6},
             heavy={"max_n": 9},
         ),
         _spec(
             "LEM2",
             "Lemma 2: distance between pi and pi_(i,j) is 1 or 3",
-            exp_lemma2_transposition_distance.run,
+            exp_lemma2_transposition_distance,
             fast={"degrees": (3, 4)},
             heavy={"degrees": (3, 4, 5, 6, 7), "path_sample_nodes": 720},
         ),
         _spec(
             "THM4",
             "Theorem 4: dilation-3, expansion-1 embedding of D_n into S_n",
-            exp_dilation.run,
+            exp_dilation,
             fast={"degrees": (3, 4, 5)},
             heavy={"degrees": (3, 4, 5, 6, 7, 8, 9)},
         ),
         _spec(
             "THM6",
             "Lemma 5 / Theorem 6: mesh unit routes need <= 3 star unit routes",
-            exp_unit_route_simulation.run,
+            exp_unit_route_simulation,
             fast={"degrees": (3, 4)},
             heavy={"degrees": (3, 4, 5, 6)},
         ),
         _spec(
             "PROP-D",
             "Section 2: star-graph properties (diameter, symmetry, faults)",
-            exp_star_properties.run,
+            exp_star_properties,
             fast={"degrees": (3, 4), "fault_trials": 5},
             heavy={"degrees": (3, 4, 5, 6, 7, 8), "fault_trials": 40},
         ),
         _spec(
             "PROP-B",
             "Section 2: broadcasting vs the 3 n lg n bound",
-            exp_broadcast.run,
+            exp_broadcast,
             fast={"degrees": (3, 4)},
             heavy={"degrees": (3, 4, 5, 6, 7)},
         ),
         _spec(
             "THM9",
             "Theorems 7-9: slowdown of uniform meshes on the star graph",
-            exp_uniform_mesh.run,
+            exp_uniform_mesh,
             fast={"degrees": (3, 4, 5, 6), "measured_degrees": (3, 4)},
             heavy={"degrees": (3, 4, 5, 6, 7, 8, 9, 10), "measured_degrees": (3, 4, 5, 6, 7)},
         ),
         _spec(
             "APP",
             "Appendix: reshaping D_n and the optimal simulation dimension",
-            exp_optimal_dimension.run,
+            exp_optimal_dimension,
             fast={"degrees": (5, 6, 7)},
             heavy={"degrees": (5, 6, 7, 8, 9, 10, 11, 12)},
         ),
         _spec(
             "CONC",
             "Conclusion: sorting on D_n natively and through the embedding",
-            exp_sorting.run,
+            exp_sorting,
             fast={"degrees": (4,)},
             heavy={"degrees": (4, 5, 6)},
         ),
         _spec(
             "CMP",
             "Introduction: star graph vs hypercube",
-            exp_star_vs_hypercube.run,
+            exp_star_vs_hypercube,
             fast={"max_degree": 7, "embedding_degrees": (3, 4)},
             heavy={"max_degree": 10, "embedding_degrees": (3, 4, 5, 6, 7)},
         ),
         _spec(
             "NETWORK-FAMILY",
             "Cayley family: star vs pancake vs bubble-sort vs hypercube",
-            exp_network_family.run,
+            exp_network_family,
             fast={"degrees": (3, 4), "fault_trials": 3},
             heavy={"degrees": (3, 4, 5, 6), "fault_trials": 20},
         ),

@@ -1,0 +1,335 @@
+"""Process-sharded experiment executor with a resumable artifact store.
+
+The registry's experiments are independent pure functions of their parameters
+(every random draw is seeded through ``params``), so ``repro-star run all``
+shards perfectly: each ``(experiment, profile, params)`` triple becomes one
+:class:`Shard`, shards fan out over a ``ProcessPoolExecutor`` (``--jobs N``)
+and each finished shard is written to an :class:`~repro.experiments.artifacts.
+ArtifactStore` as soon as it completes, so an interrupted run resumes where it
+stopped -- shards whose content-addressed key is already on disk are served
+from the store without re-running.
+
+Parity contract
+---------------
+The serial engine (``jobs=1``, no worker processes) is the reference: for the
+same shards, :func:`run_shards` with ``jobs > 1`` produces *bit-identical*
+payloads, and :meth:`RunReport.payloads` aggregates them in shard order into
+exactly the list the serial ``repro-star run --json`` path emits
+(``tests/experiments/test_runner.py`` holds the contract).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ArtifactError, InvalidParameterError
+from repro.experiments.artifacts import (
+    ArtifactStore,
+    artifact_key,
+    build_payload,
+    build_record,
+    environment_stamp,
+    validate_payload,
+)
+from repro.experiments.registry import get_spec, list_experiments
+
+__all__ = [
+    "Shard",
+    "RunReport",
+    "plan_shards",
+    "execute_shard",
+    "run_shards",
+    "registry_sorted",
+]
+
+#: Progress callback: ``(shard, status, elapsed_seconds, record)`` with status
+#: one of ``"ran"`` / ``"cached"``, invoked as each shard resolves.
+ProgressFn = Callable[["Shard", str, float, Dict[str, object]], None]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One unit of work: a single experiment at resolved parameters.
+
+    Attributes
+    ----------
+    experiment_id : str
+        Registry identifier.
+    profile : str
+        Profile name the parameters were resolved from.
+    params : tuple of (str, object)
+        The resolved parameters as a key-sorted tuple of pairs (kept hashable
+        and picklable for the process pool; ``dict(shard.params)`` restores
+        the mapping).
+    key : str
+        Content-addressed key of the shard
+        (:func:`repro.experiments.artifacts.artifact_key`).
+    """
+
+    experiment_id: str
+    profile: str
+    params: Tuple[Tuple[str, object], ...]
+    key: str
+
+
+def plan_shards(
+    experiment_ids: Optional[Sequence[str]] = None,
+    profile: str = "default",
+    overrides: Optional[Mapping[str, object]] = None,
+) -> List[Shard]:
+    """Resolve experiment ids into the shard list of one run.
+
+    Parameters
+    ----------
+    experiment_ids : sequence of str, optional
+        Ids to run (case-insensitive); ``None`` (or the single entry
+        ``"all"``) selects the whole registry in registry order.
+    profile : str, optional
+        Named parameter profile applied to every experiment.
+    overrides : mapping, optional
+        Explicit parameter overrides merged on top of every profile
+        (mirrors :func:`repro.experiments.registry.run_experiment`).
+
+    Returns
+    -------
+    list of Shard
+        One shard per requested experiment, in request order, each carrying
+        its content-addressed key.
+    """
+    if experiment_ids is None:
+        requested = list_experiments()
+    else:
+        requested = list(experiment_ids)
+        if len(requested) == 1 and str(requested[0]).lower() == "all":
+            requested = list_experiments()
+    shards = []
+    for experiment_id in requested:
+        spec = get_spec(experiment_id)
+        params = spec.params(profile)
+        if overrides:
+            params.update(overrides)
+        ordered = tuple(sorted(params.items()))
+        shards.append(
+            Shard(
+                experiment_id=spec.experiment_id,
+                profile=profile,
+                params=ordered,
+                key=artifact_key(spec.experiment_id, profile, dict(ordered)),
+            )
+        )
+    return shards
+
+
+def execute_shard(
+    shard: Shard, environment: Optional[Mapping[str, object]] = None
+) -> Dict[str, object]:
+    """Run one shard in the current process and return its store record.
+
+    Parameters
+    ----------
+    shard : Shard
+        The shard to run.
+    environment : mapping, optional
+        Pre-computed environment stamp (computed fresh when omitted, e.g. in
+        pool workers).
+
+    Returns
+    -------
+    dict
+        The full artifact record (:func:`repro.experiments.artifacts.
+        build_record`): payload plus key, wall-clock and environment stamp.
+        The payload is validated against the experiment's declared
+        :class:`~repro.experiments.artifacts.ArtifactSchema` before returning.
+    """
+    spec = get_spec(shard.experiment_id)
+    started = time.perf_counter()
+    result = spec.run(**dict(shard.params))
+    elapsed = time.perf_counter() - started
+    payload = build_payload(shard.profile, dict(shard.params), result)
+    validate_payload(payload, spec.schema)
+    return build_record(shard.key, payload, elapsed, environment)
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :func:`run_shards` call.
+
+    Attributes
+    ----------
+    shards : list of Shard
+        The executed plan, in request order.
+    records : list of dict
+        One artifact record per shard, aligned with ``shards``.
+    executed : list of str
+        Keys that were actually run this call.
+    cached : list of str
+        Keys served from the artifact store without re-running.
+    elapsed_seconds : float
+        Wall-clock of the whole call (including pool startup).
+    """
+
+    shards: List[Shard]
+    records: List[Dict[str, object]]
+    executed: List[str] = field(default_factory=list)
+    cached: List[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def payloads(self) -> List[Dict[str, object]]:
+        """The aggregated serial-format artifact list, in shard order.
+
+        This list is bit-identical to what the serial ``repro-star run
+        --json`` path emits for the same experiments and profile.
+        """
+        return [record["payload"] for record in self.records]
+
+    def claims_hold(self) -> bool:
+        """Whether every payload reports ``claim_holds`` (missing counts as true)."""
+        return all(
+            record["payload"]["summary"].get("claim_holds", True)
+            for record in self.records
+        )
+
+
+def run_shards(
+    shards: Sequence[Shard],
+    *,
+    jobs: int = 1,
+    store: Optional[ArtifactStore] = None,
+    force: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> RunReport:
+    """Execute *shards*, optionally in parallel and against a store.
+
+    Parameters
+    ----------
+    shards : sequence of Shard
+        The plan from :func:`plan_shards`.
+    jobs : int, optional
+        Worker processes; ``1`` (the default) runs everything in-process --
+        the serial parity reference.  With ``jobs > 1`` pending shards fan
+        out over a ``ProcessPoolExecutor``.
+    store : ArtifactStore, optional
+        When given, shards whose key is already present *and* whose stored
+        payload still matches the experiment's declared schema are not re-run
+        (their records load from disk); stale or unreadable entries re-run
+        and overwrite.  Every freshly executed shard is written to the store
+        as soon as it completes, making interrupted runs resumable.
+    force : bool, optional
+        Re-run every shard even when its key is present (fresh records still
+        overwrite the store).
+    progress : callable, optional
+        ``progress(shard, status, elapsed, record)`` invoked once per shard
+        as it resolves, with status ``"cached"`` or ``"ran"``.  With
+        ``jobs=1`` shards resolve strictly in input order.
+
+    Returns
+    -------
+    RunReport
+        Records aligned with the input shard order regardless of completion
+        order, plus executed/cached key lists and total wall-clock.
+
+    Raises
+    ------
+    InvalidParameterError
+        If *jobs* is not a positive integer.
+    """
+    if not isinstance(jobs, int) or jobs < 1:
+        raise InvalidParameterError(f"jobs must be a positive integer, got {jobs!r}")
+    started = time.perf_counter()
+    records: List[Optional[Dict[str, object]]] = [None] * len(shards)
+    report = RunReport(shards=list(shards), records=[])
+
+    def _from_store(shard: Shard) -> Optional[Dict[str, object]]:
+        """The stored record for *shard*, or None when absent or stale.
+
+        The key covers only (experiment, profile, params), so a code change
+        that reshapes an experiment's output leaves old artifacts under a
+        current key; re-validating the cached payload against the *current*
+        declared schema catches those and re-runs instead of serving them.
+        """
+        if store is None or force or not store.exists(
+            shard.experiment_id, shard.profile, shard.key
+        ):
+            return None
+        try:
+            record = store.read(shard.experiment_id, shard.profile, shard.key)
+            validate_payload(record["payload"], get_spec(shard.experiment_id).schema)
+        except ArtifactError:
+            return None
+        return record
+
+    def _finish(index: int, shard: Shard, record: Dict[str, object]) -> None:
+        records[index] = record
+        report.executed.append(shard.key)
+        if store is not None:
+            store.write(record)
+        if progress is not None:
+            progress(shard, "ran", record["elapsed_seconds"], record)
+
+    def _serve_cached(index: int, shard: Shard, record: Dict[str, object]) -> None:
+        records[index] = record
+        report.cached.append(shard.key)
+        if progress is not None:
+            progress(shard, "cached", 0.0, record)
+
+    if jobs > 1:
+        pending: List[Tuple[int, Shard]] = []
+        for index, shard in enumerate(shards):
+            record = _from_store(shard)
+            if record is not None:
+                _serve_cached(index, shard, record)
+            else:
+                pending.append((index, shard))
+        if len(pending) == 1:
+            index, shard = pending[0]
+            _finish(index, shard, execute_shard(shard))
+        elif pending:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                futures = {
+                    pool.submit(execute_shard, shard): (index, shard)
+                    for index, shard in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, shard = futures[future]
+                        _finish(index, shard, future.result())
+    else:
+        environment = environment_stamp()
+        for index, shard in enumerate(shards):
+            record = _from_store(shard)
+            if record is not None:
+                _serve_cached(index, shard, record)
+            else:
+                _finish(index, shard, execute_shard(shard, environment))
+
+    report.records = [record for record in records if record is not None]
+    if len(report.records) != len(shards):  # pragma: no cover - defensive
+        raise RuntimeError("runner lost a shard record")
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def registry_sorted(records: Sequence[Mapping[str, object]]) -> List[Mapping[str, object]]:
+    """Sort store records into registry order (then profile, then key).
+
+    Store directory listings are alphabetical; reports want the registry's
+    presentation order (figures first, claims after) with a deterministic
+    tie-break for multiple profiles or parameterisations of one experiment.
+    """
+    order = {experiment_id: i for i, experiment_id in enumerate(list_experiments())}
+
+    def sort_key(record: Mapping[str, object]):
+        payload = record["payload"]
+        return (
+            order.get(payload["experiment_id"], len(order)),
+            payload["experiment_id"],
+            payload["profile"],
+            record["key"],
+        )
+
+    return sorted(records, key=sort_key)

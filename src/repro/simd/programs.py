@@ -86,7 +86,21 @@ class Fill:
 
 @dataclass(frozen=True)
 class Route:
-    """One masked SIMD-A unit route along tuple dimension *dim*."""
+    """One masked SIMD-A unit route along tuple dimension *dim*.
+
+    Attributes
+    ----------
+    source, destination : str
+        Register names (may coincide).
+    dim : int
+        Mesh tuple dimension to route along.
+    delta : int
+        Direction, ``+1`` or ``-1``.
+    where : tuple, optional
+        Mask spec (default all PEs active).
+    label : str, optional
+        Ledger label recorded with the route.
+    """
 
     source: str
     destination: str
@@ -104,6 +118,19 @@ class Chain:
     direction *delta* -- the rotate carry chain.  The data effect of the whole
     chain is a fixed gather, precomputed at compile time; the ledger records
     ``len(coords)`` unit routes in one batched update.
+
+    Attributes
+    ----------
+    register : str
+        Register routed in place.
+    dim : int
+        Mesh tuple dimension to route along.
+    delta : int
+        Direction, ``+1`` or ``-1``.
+    coords : tuple of int
+        Coordinate value of the active PEs per chain step, in step order.
+    label : str, optional
+        Ledger label recorded with each route.
     """
 
     register: str
@@ -130,6 +157,22 @@ class ShiftSteps:
     Ledger-equivalent to ``copy; (fill; route; copy) * steps`` through the
     facade; the data effect collapses to one gather plus a boundary fill into
     *result* (and the final staging state into *scratch*).
+
+    Attributes
+    ----------
+    register : str
+        Source register.
+    result, scratch : str
+        Destination register and the staging register the facade would have
+        left behind (kept for bit-identical register state).
+    dim : int
+        Mesh tuple dimension to shift along.
+    delta : int
+        Direction, ``+1`` or ``-1``.
+    steps : int
+        Number of unit shifts fused.
+    fill : object, optional
+        Boundary fill value.
     """
 
     register: str
@@ -837,7 +880,16 @@ class _EmbeddedOps:
 # ------------------------------------------------------------------ programs
 @dataclass
 class RouteProgram:
-    """A compiled, geometry-bound, replayable program."""
+    """A compiled, geometry-bound, replayable program.
+
+    Attributes
+    ----------
+    geometry : tuple
+        The geometry key the program was compiled for (mesh sides, or star
+        degree for the canonical embedding).
+    steps : tuple
+        The step sequence the program was compiled from.
+    """
 
     geometry: Tuple
     steps: Tuple[Step, ...]
@@ -845,7 +897,18 @@ class RouteProgram:
     _numeric: Optional[_NumericProgram] = None
 
     def run(self, machine) -> None:
-        """Replay on *machine* (must match the compiled geometry)."""
+        """Replay on *machine*.
+
+        Parameters
+        ----------
+        machine : SIMDMachine
+            Target machine; its geometry key must equal :attr:`geometry`.
+
+        Raises
+        ------
+        ProgramError
+            If *machine* was built over a different geometry.
+        """
         if _geometry_key(machine) != self.geometry:
             raise ProgramError(
                 f"program compiled for {self.geometry!r} cannot run on {machine!r}"
@@ -862,6 +925,16 @@ def supports_programs(machine) -> bool:
     Exactly :class:`MeshMachine` and :class:`EmbeddedMeshMachine`; subclasses
     (e.g. the retained reference machines in the test-suite) keep their
     overridden per-call behaviour by falling back to the facade.
+
+    Parameters
+    ----------
+    machine : SIMDMachine
+        The machine an algorithm is about to run on.
+
+    Returns
+    -------
+    bool
+        Whether :func:`compile_program` may be used for it.
     """
     from repro.simd.embedded import EmbeddedMeshMachine
 
@@ -1039,6 +1112,20 @@ def compile_program(machine, steps: Sequence[Step]) -> RouteProgram:
     containing unhashable values (e.g. an unhashable fill object) compile
     fresh on every call but still share the per-geometry route/mask/kernel
     artifacts.
+
+    Parameters
+    ----------
+    machine : MeshMachine or EmbeddedMeshMachine
+        The machine whose geometry to compile for (see
+        :func:`supports_programs`).
+    steps : sequence
+        ``Fill | Route | Chain | Local | ShiftSteps`` step specs.
+
+    Returns
+    -------
+    RouteProgram
+        The compiled program; replays with ledgers bit-identical to issuing
+        the steps through the per-call facade.
     """
     steps = tuple(steps)
     geometry = _geometry_key(machine)

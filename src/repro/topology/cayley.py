@@ -68,6 +68,18 @@ def prefix_reversal_generators(n: int) -> Tuple[Generator, ...]:
     ``r_k`` reverses tuple positions ``0 .. k-1`` (flips the top ``k``
     pancakes) and fixes the rest; every ``r_k`` is an involution.
 
+    Parameters
+    ----------
+    n : int
+        Degree (number of symbols), at least 2.
+
+    Returns
+    -------
+    tuple of tuple of int
+        The ``n - 1`` reversal position permutations, ``r_2`` first.
+
+    Examples
+    --------
     >>> prefix_reversal_generators(3)
     ((1, 0, 2), (2, 1, 0))
     """
@@ -86,6 +98,24 @@ def transposition_generators(
     and ``b``; pairs are validated (distinct positions in range, no duplicate
     pairs) but *not* required to connect the positions -- see
     :class:`TranspositionTreeGraph` for the connected (tree) case.
+
+    Parameters
+    ----------
+    n : int
+        Degree (number of symbols), at least 2.
+    transpositions : sequence of (int, int)
+        Position pairs, each with two distinct positions in ``0 .. n-1``.
+
+    Returns
+    -------
+    tuple of tuple of int
+        One involution position permutation per pair, in input order.
+
+    Raises
+    ------
+    InvalidParameterError
+        If a pair repeats a position, duplicates another pair, or the
+        sequence is empty.
     """
     check_positive_int(n, "n", minimum=2)
     generators: List[Generator] = []
@@ -116,6 +146,21 @@ def bubble_sort_distance(source: Sequence[int], target: Sequence[int]) -> int:
     counted by the fast-core Lehmer helper
     :func:`repro.permutations.ranking.inversion_count`.  Cross-checked
     against BFS and the networkx oracle in the tests.
+
+    Parameters
+    ----------
+    source, target : sequence of int
+        Permutations of ``0 .. n-1`` of equal degree.
+
+    Returns
+    -------
+    int
+        The Kendall-tau (inversion) distance.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the sequences differ in degree or are not permutations.
     """
     source = tuple(source)
     target = tuple(target)
@@ -140,14 +185,16 @@ class CayleyGraph(Topology):
 
     Parameters
     ----------
-    n:
+    n : int
         Degree (number of symbols); the graph has ``n!`` nodes.
-    generators:
-        Tuple of distinct non-identity involution position permutations.
-    generator_names:
-        Optional short labels (ledger labels, table headers); defaults to
+    generators : sequence of tuple of int
+        Distinct non-identity involution position permutations.
+    generator_names : sequence of str, optional
+        Short labels (ledger labels, table headers); defaults to
         ``g0, g1, ...``.
 
+    Notes
+    -----
     The graph is connected iff the generators generate ``S_n`` (for
     transposition sets: iff the position pairs connect all positions).
     """
@@ -227,7 +274,20 @@ class CayleyGraph(Topology):
         return len(node) == self._n and is_permutation(node)
 
     def apply_generator(self, node: Node, generator: int) -> Node:
-        """Apply generator *generator* (0-based table index) to *node*."""
+        """Apply one generator to a node.
+
+        Parameters
+        ----------
+        node : tuple of int
+            A permutation node of the graph.
+        generator : int
+            0-based generator (table) index.
+
+        Returns
+        -------
+        tuple of int
+            The neighbour ``tuple(node[g[p]] for p in range(n))``.
+        """
         check_in_range(generator, "generator", 0, len(self._generators) - 1)
         node = self.validate_node(node)
         g = self._generators[generator]
@@ -258,6 +318,16 @@ class CayleyGraph(Topology):
 
     def generator_between(self, u: Node, v: Node) -> int:
         """The 0-based generator index ``g`` with ``neighbor_along(u, g) == v``.
+
+        Parameters
+        ----------
+        u, v : tuple of int
+            Adjacent permutation nodes.
+
+        Returns
+        -------
+        int
+            The generator index connecting them.
 
         Raises
         ------
@@ -302,7 +372,20 @@ class CayleyGraph(Topology):
         return move_tables_for(self._generators, self._n)
 
     def neighbor_ranks(self, index: int, generator: int) -> int:
-        """Rank of the neighbour of node *index* along one generator."""
+        """Rank of the neighbour of node *index* along one generator.
+
+        Parameters
+        ----------
+        index : int
+            Dense node id (Lehmer rank) in ``0 .. n!-1``.
+        generator : int
+            0-based generator (table) index.
+
+        Returns
+        -------
+        int
+            The neighbour's rank, read from the cached move table.
+        """
         check_in_range(generator, "generator", 0, len(self._generators) - 1)
         if not (0 <= index < self.num_nodes):
             raise InvalidParameterError(

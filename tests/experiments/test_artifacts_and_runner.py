@@ -1,0 +1,424 @@
+"""Tests for the artifact store, the sharded runner and the report renderers.
+
+The headline contracts:
+
+* **Serial/sharded parity** -- ``run_shards(jobs=2)`` produces payloads
+  bit-identical to the serial engine (and to the CLI's serial ``--json``).
+* **Resumability** -- re-running against a populated store executes nothing.
+* **Content addressing** -- keys depend only on ``(experiment, profile,
+  params)``, with stable ordering of the params mapping.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.stored import claim_summary, load_results, stored_result, stored_rows
+from repro.exceptions import ArtifactError, InvalidParameterError
+from repro.experiments.artifacts import (
+    ArtifactSchema,
+    ArtifactStore,
+    artifact_key,
+    build_payload,
+    build_record,
+    canonical_json,
+    environment_stamp,
+    validate_payload,
+    validate_record,
+)
+from repro.experiments.registry import EXPERIMENTS, get_spec, list_experiments, run_experiment
+from repro.experiments.report import (
+    ExperimentResult,
+    render_html_report,
+    render_markdown_report,
+    result_from_payload,
+)
+from repro.experiments.runner import (
+    Shard,
+    execute_shard,
+    plan_shards,
+    registry_sorted,
+    run_shards,
+)
+
+#: Cheap experiments used where the whole registry would be overkill.
+CHEAP_IDS = ["FIG4", "FIG7", "TAB1", "LEM1"]
+
+
+class TestArtifactKey:
+    def test_stable_across_param_order(self):
+        a = artifact_key("THM4", "fast", {"degrees": (3, 4), "x": 1})
+        b = artifact_key("THM4", "fast", {"x": 1, "degrees": (3, 4)})
+        assert a == b
+        assert len(a) == 16 and int(a, 16) >= 0
+
+    def test_distinct_inputs_distinct_keys(self):
+        base = artifact_key("THM4", "fast", {"degrees": [3, 4]})
+        assert artifact_key("THM4", "heavy", {"degrees": [3, 4]}) != base
+        assert artifact_key("THM6", "fast", {"degrees": [3, 4]}) != base
+        assert artifact_key("THM4", "fast", {"degrees": [3, 5]}) != base
+
+    def test_tuple_and_list_params_agree(self):
+        # Params pass through json_safe, so tuples and lists address equally.
+        assert artifact_key("X", "default", {"d": (3, 4)}) == artifact_key(
+            "X", "default", {"d": [3, 4]}
+        )
+
+    def test_canonical_json_sorts_keys(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+
+class TestArtifactSchema:
+    def test_every_spec_declares_a_schema(self):
+        for experiment_id, spec in EXPERIMENTS.items():
+            assert spec.schema is not None, experiment_id
+            assert spec.schema.columns, experiment_id
+            assert "claim_holds" in spec.schema.summary_keys, experiment_id
+
+    def test_declared_columns_match_emitted_headers(self):
+        for experiment_id in CHEAP_IDS:
+            spec = get_spec(experiment_id)
+            result = run_experiment(experiment_id, profile="fast")
+            assert tuple(result.headers) == tuple(spec.schema.columns)
+
+    def test_claim_holds_injected_when_missing(self):
+        schema = ArtifactSchema(columns=("a",), summary_keys=("extra",))
+        assert schema.summary_keys == ("claim_holds", "extra")
+
+    def test_validate_payload_rejects_header_drift(self):
+        spec = get_spec("FIG4")
+        result = run_experiment("FIG4")
+        payload = build_payload("default", {}, result)
+        validate_payload(payload, spec.schema)  # the real payload passes
+        bad = dict(payload, headers=["wrong"])
+        with pytest.raises(ArtifactError):
+            validate_payload(bad, spec.schema)
+
+    def test_validate_payload_rejects_missing_summary_key(self):
+        spec = get_spec("FIG4")
+        payload = build_payload("default", {}, run_experiment("FIG4"))
+        bad = dict(payload, summary={"claim_holds": True})  # drops dilation etc.
+        with pytest.raises(ArtifactError):
+            validate_payload(bad, spec.schema)
+
+    def test_validate_payload_rejects_ragged_rows(self):
+        spec = get_spec("FIG4")
+        payload = build_payload("default", {}, run_experiment("FIG4"))
+        bad = dict(payload, rows=[["only one cell"]])
+        with pytest.raises(ArtifactError):
+            validate_payload(bad, spec.schema)
+
+    def test_validate_payload_envelope(self):
+        with pytest.raises(ArtifactError):
+            validate_payload({"experiment_id": "X"}, None)
+
+
+class TestArtifactStore:
+    def _record(self, experiment_id="FIG4", profile="default"):
+        result = run_experiment(experiment_id, profile=profile)
+        payload = build_payload(profile, {}, result)
+        key = artifact_key(experiment_id, profile, {})
+        return build_record(key, payload, 0.25)
+
+    def test_write_read_round_trip(self, tmp_path):
+        store = ArtifactStore(tmp_path / "results")
+        record = self._record()
+        path = store.write(record)
+        assert path.name == "FIG4__default__" + record["key"] + ".json"
+        loaded = store.read("FIG4", "default", record["key"])
+        assert loaded == json.loads(json.dumps(record))  # JSON round-trip equal
+        assert store.exists("FIG4", "default", record["key"])
+        assert len(store) == 1
+
+    def test_environment_stamp_recorded(self, tmp_path):
+        record = self._record()
+        env = record["environment"]
+        assert env["python"] and env["platform"]
+        assert set(environment_stamp()) == set(env)
+
+    def test_read_missing_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(ArtifactError):
+            store.read("FIG4", "default", "0" * 16)
+
+    def test_read_corrupt_raises(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        record = self._record()
+        path = store.write(record)
+        path.write_text("{ not json")
+        with pytest.raises(ArtifactError):
+            store.read("FIG4", "default", record["key"])
+
+    def test_validate_record_envelope(self):
+        with pytest.raises(ArtifactError):
+            validate_record({"key": "abc"})
+
+    def test_stale_schema_version_rejected(self, tmp_path):
+        """A store written under an older record layout must not be reused."""
+        store = ArtifactStore(tmp_path)
+        record = self._record()
+        path = store.write(record)
+        stale = json.loads(path.read_text())
+        stale["schema_version"] = 0
+        path.write_text(json.dumps(stale))
+        with pytest.raises(ArtifactError, match="schema_version"):
+            store.read("FIG4", "default", record["key"])
+
+    def test_entries_sorted_and_temp_files_ignored(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for experiment_id in ("TAB1", "FIG4"):
+            result = run_experiment(experiment_id, profile="fast")
+            params = get_spec(experiment_id).params("fast")
+            payload = build_payload("fast", params, result)
+            store.write(
+                build_record(artifact_key(experiment_id, "fast", params), payload, 0.0)
+            )
+        (tmp_path / ".tmp-leftover.json").write_text("junk")
+        entries = store.entries()
+        assert [e["payload"]["experiment_id"] for e in entries] == ["FIG4", "TAB1"]
+
+    def test_empty_store(self, tmp_path):
+        store = ArtifactStore(tmp_path / "never-created")
+        assert store.entries() == [] and len(store) == 0
+
+
+class TestPlanShards:
+    def test_all_resolves_registry_order(self):
+        shards = plan_shards(["all"], profile="fast")
+        assert [s.experiment_id for s in shards] == list_experiments()
+        assert all(s.profile == "fast" for s in shards)
+
+    def test_none_means_all(self):
+        assert [s.experiment_id for s in plan_shards(None)] == list_experiments()
+
+    def test_params_sorted_and_key_attached(self):
+        (shard,) = plan_shards(["CMP"], profile="fast")
+        names = [name for name, _ in shard.params]
+        assert names == sorted(names)
+        assert shard.key == artifact_key("CMP", "fast", dict(shard.params))
+
+    def test_case_insensitive_and_overrides(self):
+        (shard,) = plan_shards(["lem1"], profile="fast", overrides={"max_n": 4})
+        assert shard.experiment_id == "LEM1"
+        assert dict(shard.params) == {"max_n": 4}
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(InvalidParameterError):
+            plan_shards(["NOPE"])
+
+
+class TestRunShards:
+    def test_serial_matches_direct_run(self):
+        shards = plan_shards(CHEAP_IDS, profile="fast")
+        report = run_shards(shards)
+        assert len(report.records) == len(CHEAP_IDS)
+        assert report.executed and not report.cached
+        for shard, payload in zip(shards, report.payloads()):
+            direct = run_experiment(shard.experiment_id, profile="fast")
+            expected = build_payload("fast", dict(shard.params), direct)
+            assert payload == json.loads(json.dumps(expected))
+        assert report.claims_hold()
+
+    def test_parallel_rows_equal_serial_rows_exactly(self):
+        """The PR's core parity claim: --jobs 2 rows == serial rows, bit for bit."""
+        shards = plan_shards(["all"], profile="fast")
+        serial = run_shards(shards, jobs=1)
+        parallel = run_shards(shards, jobs=2)
+        assert json.dumps(serial.payloads(), sort_keys=True) == json.dumps(
+            parallel.payloads(), sort_keys=True
+        )
+        # Ordering too: payload lists aggregate in shard order on both engines.
+        assert json.dumps(serial.payloads()) == json.dumps(parallel.payloads())
+
+    def test_store_resume_is_noop(self, tmp_path):
+        store = ArtifactStore(tmp_path / "results")
+        shards = plan_shards(CHEAP_IDS, profile="fast")
+        first = run_shards(shards, store=store)
+        assert len(first.executed) == len(CHEAP_IDS)
+        second = run_shards(shards, store=store)
+        assert second.executed == [] and len(second.cached) == len(CHEAP_IDS)
+        assert second.payloads() == first.payloads()
+
+    def test_partial_store_runs_only_missing(self, tmp_path):
+        store = ArtifactStore(tmp_path / "results")
+        shards = plan_shards(CHEAP_IDS, profile="fast")
+        run_shards(shards[:2], store=store)
+        report = run_shards(shards, store=store)
+        assert sorted(report.cached) == sorted(s.key for s in shards[:2])
+        assert sorted(report.executed) == sorted(s.key for s in shards[2:])
+
+    def test_force_reruns_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path / "results")
+        shards = plan_shards(["FIG4"], profile="fast")
+        run_shards(shards, store=store)
+        report = run_shards(shards, store=store, force=True)
+        assert len(report.executed) == 1 and not report.cached
+
+    def test_different_profiles_do_not_collide(self, tmp_path):
+        store = ArtifactStore(tmp_path / "results")
+        run_shards(plan_shards(["LEM1"], profile="fast"), store=store)
+        report = run_shards(plan_shards(["LEM1"], profile="default"), store=store)
+        assert report.executed  # the default profile is a different key
+        assert len(store) == 2
+
+    def test_progress_callback_streams_records_in_order(self, tmp_path):
+        store = ArtifactStore(tmp_path / "results")
+        events = []
+
+        def on_progress(shard, status, elapsed, record):
+            assert record["payload"]["experiment_id"] == shard.experiment_id
+            events.append((shard.experiment_id, status))
+
+        shards = plan_shards(["FIG4", "TAB1"], profile="fast")
+        run_shards(shards, store=store, progress=on_progress)
+        run_shards(shards, store=store, progress=on_progress)
+        # jobs=1 resolves strictly in shard order, cached or not.
+        assert events == [
+            ("FIG4", "ran"), ("TAB1", "ran"),
+            ("FIG4", "cached"), ("TAB1", "cached"),
+        ]
+
+    def test_stale_cached_payload_reruns(self, tmp_path):
+        """A stored artifact whose shape no longer matches the declared schema
+        is treated as a miss and re-run, not served (the key covers only
+        params, not code identity)."""
+        store = ArtifactStore(tmp_path / "results")
+        (shard,) = plan_shards(["FIG4"])
+        run_shards([shard], store=store)
+        path = store.path_for(shard.experiment_id, shard.profile, shard.key)
+        stale = json.loads(path.read_text())
+        stale["payload"]["headers"] = ["an", "old", "layout"]
+        path.write_text(json.dumps(stale))
+        report = run_shards([shard], store=store)
+        assert report.executed == [shard.key] and not report.cached
+        # The store is healed: the fresh record passes validation again.
+        healed = run_shards([shard], store=store)
+        assert healed.cached == [shard.key]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_shards([], jobs=0)
+
+    def test_execute_shard_validates_schema(self):
+        (shard,) = plan_shards(["FIG4"])
+        record = execute_shard(shard)
+        assert record["key"] == shard.key
+        assert record["elapsed_seconds"] >= 0
+        assert record["payload"]["experiment_id"] == "FIG4"
+
+
+class TestRegistrySorted:
+    def test_registry_order_restored_from_alphabetical(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        run_shards(plan_shards(["TAB1", "FIG4", "LEM1"], profile="fast"), store=store)
+        ordered = registry_sorted(store.entries())
+        assert [r["payload"]["experiment_id"] for r in ordered] == ["FIG4", "TAB1", "LEM1"]
+
+
+class TestStoredAnalysis:
+    @pytest.fixture(scope="class")
+    def populated(self, tmp_path_factory):
+        store = ArtifactStore(tmp_path_factory.mktemp("store"))
+        run_shards(plan_shards(CHEAP_IDS, profile="fast"), store=store)
+        return store
+
+    def test_load_results_keys_and_order(self, populated):
+        results = load_results(populated)
+        assert list(results) == [(i, "fast") for i in ["FIG4", "FIG7", "TAB1", "LEM1"]]
+
+    def test_stored_result_round_trips_direct_run(self, populated):
+        stored = stored_result(populated, "lem1", "fast")
+        direct = run_experiment("LEM1", profile="fast")
+        # JSON round-trip normalises tuples to lists; compare via to_dict.
+        assert stored.to_dict() == json.loads(json.dumps(direct.to_dict()))
+
+    def test_stored_rows(self, populated):
+        headers, rows = stored_rows(populated, "LEM1")
+        assert headers[0] == "n" and rows[-1][0] == 6  # fast profile caps at 6
+
+    def test_stored_result_missing(self, populated):
+        with pytest.raises(ArtifactError):
+            stored_result(populated, "THM4")
+        with pytest.raises(ArtifactError):
+            stored_result(populated, "LEM1", "heavy")
+
+    def test_claim_summary(self, populated):
+        verdicts = claim_summary(populated)
+        assert set(verdicts) == set(CHEAP_IDS)
+        assert all(verdicts.values())
+
+
+class TestReportRenderers:
+    @pytest.fixture(scope="class")
+    def records(self, tmp_path_factory):
+        store = ArtifactStore(tmp_path_factory.mktemp("report-store"))
+        run_shards(plan_shards(CHEAP_IDS, profile="fast"), store=store)
+        return registry_sorted(store.entries())
+
+    def test_result_from_payload_inverts_to_dict(self):
+        result = ExperimentResult(
+            "X", "t", ["h1", "h2"], [[1, "a"]], notes=["n"], summary={"claim_holds": True}
+        )
+        rebuilt = result_from_payload(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_markdown_report_sections(self, records):
+        text = render_markdown_report(records, title="Store report")
+        assert text.startswith("# Store report")
+        assert "## Environment" in text
+        for experiment_id in CHEAP_IDS:
+            assert f"[{experiment_id}]" in text
+        assert "| experiment | profile | claim | rows | wall-clock (s) |" in text
+        assert "FAILS" not in text
+
+    def testmarkdown_escapes_pipes_and_stars(self):
+        record = build_record(
+            "0" * 16,
+            build_payload(
+                "default",
+                {},
+                ExperimentResult(
+                    "X", "the 2*3*4 mesh", ["a|b"], [["c|d"]],
+                    summary={"claim_holds": True},
+                ),
+            ),
+            0.0,
+        )
+        text = render_markdown_report([record])
+        assert "a\\|b" in text and "c\\|d" in text
+        # Titles with stars must not italicise ("2*3*4" -> "2<em>3</em>4").
+        assert "the 2\\*3\\*4 mesh" in text
+
+    def test_html_report_standalone_and_escaped(self, records):
+        text = render_html_report(records, title="Store <report>")
+        assert text.startswith("<!DOCTYPE html>")
+        assert "Store &lt;report&gt;" in text
+        assert "<style>" in text  # no external assets
+        for experiment_id in CHEAP_IDS:
+            assert experiment_id in text
+
+    def test_mixed_environment_stamps_render(self):
+        """Stamps mixing str and None values (with/without NumPy) must sort."""
+        payload = build_payload(
+            "default",
+            {},
+            ExperimentResult("X", "t", ["h"], [[1]], summary={"claim_holds": True}),
+        )
+        with_numpy = build_record("0" * 16, payload, 0.0, {"python": "3.11", "numpy": "1.26"})
+        without_numpy = build_record("1" * 16, payload, 0.0, {"python": "3.11", "numpy": None})
+        for renderer in (render_markdown_report, render_html_report):
+            text = renderer([with_numpy, without_numpy])
+            assert "numpy: 1.26" in text
+
+    def test_failing_claim_flagged(self):
+        record = build_record(
+            "0" * 16,
+            build_payload(
+                "default",
+                {},
+                ExperimentResult("X", "t", ["h"], [[1]], summary={"claim_holds": False}),
+            ),
+            0.0,
+        )
+        assert "FAILS" in render_markdown_report([record])
+        assert "fails" in render_html_report([record])

@@ -1,0 +1,101 @@
+"""Tests keeping the docs site in sync with the code.
+
+``mkdocs build --strict`` runs in CI (mkdocs is not a runtime dependency of
+the library), so these tests cover the failure modes that do not need mkdocs
+itself: the generated catalogue page must match the registry, every page in
+the nav must exist, and every relative Markdown link must resolve.
+"""
+
+import importlib.util
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS_DIR = REPO_ROOT / "docs"
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+
+def _load_gen_catalogue():
+    spec = importlib.util.spec_from_file_location(
+        "gen_catalogue", DOCS_DIR / "gen_catalogue.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGeneratedCatalogue:
+    def test_page_in_sync_with_registry(self):
+        """docs/experiments.md is exactly what gen_catalogue.py renders today."""
+        gen = _load_gen_catalogue()
+        expected = gen.render(gen.catalogue_json())
+        page = (DOCS_DIR / "experiments.md").read_text()
+        assert page == expected, (
+            "docs/experiments.md is stale; run `python docs/gen_catalogue.py`"
+        )
+
+    def test_every_registered_experiment_listed(self):
+        from repro.experiments.registry import list_experiments
+
+        page = (DOCS_DIR / "experiments.md").read_text()
+        for experiment_id in list_experiments():
+            assert f"`{experiment_id}`" in page
+
+    def test_check_mode_passes_on_committed_page(self, capsys):
+        gen = _load_gen_catalogue()
+        assert gen.main(["--check"]) == 0
+
+    def test_generator_output_derives_from_list_json(self):
+        gen = _load_gen_catalogue()
+        catalogue = gen.catalogue_json()
+        assert isinstance(catalogue, list) and len(catalogue) >= 17
+        assert {"experiment_id", "title", "profiles"} <= set(catalogue[0])
+
+
+class TestDocsSite:
+    def _nav_paths(self):
+        yaml = pytest.importorskip("yaml")
+        config = yaml.safe_load(MKDOCS_YML.read_text())
+        paths = []
+        for entry in config["nav"]:
+            (_, target), = entry.items()
+            paths.append(target)
+        return config, paths
+
+    def test_nav_targets_exist(self):
+        _, paths = self._nav_paths()
+        for target in paths:
+            assert (DOCS_DIR / target).is_file(), f"nav entry {target} has no page"
+
+    def test_core_pages_in_nav(self):
+        _, paths = self._nav_paths()
+        for page in ("index.md", "quickstart.md", "architecture.md", "cli.md",
+                     "experiments.md", "results.md"):
+            assert page in paths
+
+    def test_relative_links_resolve(self):
+        """Strict-lite: every relative Markdown link targets an existing file."""
+        link = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+        for page in sorted(DOCS_DIR.glob("*.md")):
+            for target in link.findall(page.read_text()):
+                if target.startswith(("http://", "https://", "#", "mailto:")):
+                    continue
+                target_path = target.split("#", 1)[0]
+                assert (page.parent / target_path).is_file(), (
+                    f"{page.name}: broken relative link -> {target}"
+                )
+
+    def test_results_page_is_a_rendered_report(self):
+        text = (DOCS_DIR / "results.md").read_text()
+        assert "repro-star report" in text  # provenance header
+        assert "# Results" in text
+        assert "| experiment | profile | claim | rows | wall-clock (s) |" in text
+        assert "FAILS" not in text  # the committed snapshot verifies every claim
+
+    def test_site_dir_gitignored(self):
+        # `mkdocs build` output must stay untracked (CI builds it fresh); a
+        # local build legitimately creates site/, so check the ignore rule
+        # rather than the directory's absence.
+        assert "site/" in (REPO_ROOT / ".gitignore").read_text().splitlines()

@@ -197,6 +197,95 @@ class TestCli:
             main(["run", "UNKNOWN"])
 
 
+class TestCliSharded:
+    """CLI-level tests of --jobs / --out / --force and the report subcommand."""
+
+    def test_jobs_2_json_identical_to_serial(self, tmp_path):
+        """Acceptance: `run all --jobs 2` rows equal the serial rows exactly."""
+        serial = tmp_path / "serial.json"
+        sharded = tmp_path / "sharded.json"
+        assert main(["run", "all", "--fast", "--json", str(serial)]) == 0
+        assert main(["run", "all", "--fast", "--jobs", "2", "--json", str(sharded)]) == 0
+        assert serial.read_text() == sharded.read_text()
+
+    def test_out_store_populated_and_resumable(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        args = ["run", "LEM1", "TAB1", "--fast", "--out", str(store)]
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "2 ran, 0 cached" in err
+        files = sorted(p.name for p in store.glob("*.json"))
+        assert len(files) == 2 and files[0].startswith("LEM1__fast__")
+        # Second run: all shards cache-hit, artifacts untouched.
+        before = {p.name: p.read_text() for p in store.glob("*.json")}
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "0 ran, 2 cached" in err
+        assert {p.name: p.read_text() for p in store.glob("*.json")} == before
+
+    def test_force_reruns(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        assert main(["run", "FIG4", "--out", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["run", "FIG4", "--out", str(store), "--force"]) == 0
+        assert "1 ran, 0 cached" in capsys.readouterr().err
+
+    def test_force_without_out_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "FIG4", "--force"])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "FIG4", "--jobs", "0"])
+
+    def test_out_with_json_aggregate_matches_serial(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        out = tmp_path / "agg.json"
+        assert main(
+            ["run", "LEM1", "TAB1", "--fast", "--jobs", "2", "--out", str(store), "--json", str(out)]
+        ) == 0
+        capsys.readouterr()
+        serial = tmp_path / "serial.json"
+        assert main(["run", "LEM1", "TAB1", "--fast", "--json", str(serial)]) == 0
+        assert out.read_text() == serial.read_text()
+
+    def test_report_markdown_to_stdout(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        assert main(["run", "LEM1", "TAB1", "--fast", "--out", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("# Experiment results")
+        assert "[TAB1]" in output and "[LEM1]" in output
+        # Registry presentation order: TAB1 (a figure) before LEM1 (a claim).
+        assert output.index("[TAB1]") < output.index("[LEM1]")
+
+    def test_report_writes_md_and_html(self, tmp_path, capsys):
+        store = tmp_path / "results"
+        assert main(["run", "FIG4", "--out", str(store)]) == 0
+        md = tmp_path / "report.md"
+        html = tmp_path / "report.html"
+        assert main(["report", str(store), "--md", str(md), "--html", str(html), "--title", "T"]) == 0
+        assert md.read_text().startswith("# T")
+        assert html.read_text().startswith("<!DOCTYPE html>")
+
+    def test_serial_tables_stream_in_order_with_partial_cache(self, tmp_path, capsys):
+        """jobs=1 prints each table as its shard resolves, in request order,
+        even when the store already holds a subset."""
+        store = tmp_path / "results"
+        assert main(["run", "TAB1", "--fast", "--out", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["run", "LEM1", "TAB1", "FIG4", "--fast", "--out", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert out.index("[LEM1]") < out.index("[TAB1]") < out.index("[FIG4]")
+
+    def test_report_empty_store_raises(self, tmp_path):
+        from repro.exceptions import ArtifactError
+
+        with pytest.raises(ArtifactError):
+            main(["report", str(tmp_path / "nothing")])
+
+
 class TestJsonSafe:
     def test_plain_types_pass_through(self):
         assert json_safe({"a": (1, 2.5, "x", None, True)}) == {"a": [1, 2.5, "x", None, True]}
