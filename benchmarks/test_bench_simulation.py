@@ -89,3 +89,35 @@ def test_unit_route_path_construction_bfs(benchmark, n, embedding5):
 
     paths = benchmark(build)
     assert all(len(p) - 1 in (1, 3) for p in paths.values())
+
+
+def test_fault_campaign_batched_mask(benchmark):
+    """Ablation (a): the connectivity campaign on the batched alive-mask flood."""
+    from repro.simulation.campaign import connectivity_campaign
+    from repro.topology.star import StarGraph
+
+    star = StarGraph(5)
+
+    def campaign():
+        return connectivity_campaign(
+            star, fault_counts=[3, 12, 24], trials=40, seed=2206, label="bench"
+        )
+
+    points = benchmark(campaign)
+    assert points[0].disconnected == 0  # 3 faults < connectivity 4
+
+
+def test_fault_campaign_tuple_reference(benchmark):
+    """Ablation (b): the identical campaign on the per-trial tuple/dict BFS."""
+    from repro.simulation.campaign import connectivity_campaign_reference
+    from repro.topology.star import StarGraph
+
+    star = StarGraph(5)
+
+    def campaign():
+        return connectivity_campaign_reference(
+            star, fault_counts=[3, 12, 24], trials=40, seed=2206, label="bench"
+        )
+
+    points = benchmark(campaign)
+    assert points[0].disconnected == 0

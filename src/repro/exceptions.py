@@ -23,6 +23,8 @@ __all__ = [
     "MaskError",
     "ProgramError",
     "ArtifactError",
+    "ArtifactCorruptError",
+    "ShardFailedError",
 ]
 
 
@@ -92,4 +94,27 @@ class ArtifactError(ReproError):
     required fields, when a result's table columns diverge from the
     experiment's declared :class:`~repro.experiments.artifacts.ArtifactSchema`,
     or when an on-disk store entry cannot be parsed.
+    """
+
+
+class ArtifactCorruptError(ArtifactError):
+    """An on-disk store entry is not a readable artifact at all.
+
+    Distinguishes *corrupt* entries (truncated/garbled JSON, files that are
+    not artifact records) from merely *stale* ones (valid records whose
+    payload no longer matches the current schema).  Stale entries are safe to
+    re-run and overwrite; corrupt entries are evidence of a crashed writer or
+    external damage, so the runner quarantines them (rename to ``*.corrupt``)
+    instead of silently destroying the evidence.
+    """
+
+
+class ShardFailedError(ReproError):
+    """A shard exhausted its retry budget during a sharded run.
+
+    The crash-tolerant runner (:func:`repro.experiments.runner.run_shards`)
+    never raises this itself -- failed shards are reported through
+    :attr:`~repro.experiments.runner.RunReport.failed` so partial results
+    survive; it exists for callers that want to escalate a failed report into
+    an exception (e.g. ``RunReport.raise_failures()``).
     """

@@ -29,6 +29,15 @@ Layout of a store directory::
 File names are ``<experiment_id>__<profile>__<key>.json`` so a directory
 listing is human-readable while the key keeps distinct parameterisations
 apart.
+
+Damaged stores degrade instead of dying: entries that cannot be parsed raise
+:class:`~repro.exceptions.ArtifactCorruptError` (the runner quarantines them
+as ``*.corrupt`` via :meth:`ArtifactStore.quarantine` rather than silently
+overwriting the evidence), while valid-but-stale records -- an old
+``schema_version`` or a payload that no longer matches the experiment's
+declared schema -- raise plain :class:`~repro.exceptions.ArtifactError` and
+are safe to re-run and overwrite.  :meth:`ArtifactStore.scan` loads a store
+best-effort for report rendering over partially damaged directories.
 """
 
 from __future__ import annotations
@@ -42,7 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.exceptions import ArtifactError
+from repro.exceptions import ArtifactCorruptError, ArtifactError
 from repro.experiments.report import ExperimentResult, json_safe
 
 __all__ = [
@@ -285,13 +294,27 @@ def validate_record(record: Mapping[str, object]) -> None:
 
     Raises
     ------
+    ArtifactCorruptError
+        If any of the required record keys is absent (the file is not an
+        artifact record at all -- quarantine material, not re-run material).
     ArtifactError
-        If any of the required record keys is absent, or the record was
-        written under a different (incompatible) ``schema_version``.
+        If the record was written under a different (incompatible)
+        ``schema_version`` -- a valid but *stale* record, safe to re-run and
+        overwrite.
     """
+    if not isinstance(record, Mapping):
+        raise ArtifactCorruptError(
+            f"artifact record is {type(record).__name__}, not an object"
+        )
     missing = [k for k in _RECORD_KEYS if k not in record]
     if missing:
-        raise ArtifactError(f"artifact record is missing keys: {', '.join(missing)}")
+        raise ArtifactCorruptError(
+            f"artifact record is missing keys: {', '.join(missing)}"
+        )
+    if not isinstance(record["payload"], Mapping):
+        raise ArtifactCorruptError(
+            f"artifact payload is {type(record['payload']).__name__}, not an object"
+        )
     if record["schema_version"] != SCHEMA_VERSION:
         raise ArtifactError(
             f"artifact record has schema_version {record['schema_version']!r}, "
@@ -373,17 +396,80 @@ class ArtifactStore:
         return self.read_path(self.path_for(experiment_id, profile, key))
 
     def read_path(self, path) -> Dict[str, object]:
-        """Load and validate the record stored at *path*."""
+        """Load and validate the record stored at *path*.
+
+        Raises :class:`~repro.exceptions.ArtifactCorruptError` (a subclass of
+        ``ArtifactError``) when the file cannot be parsed at all -- callers
+        that want to keep the evidence route such paths to
+        :meth:`quarantine` instead of overwriting them.
+        """
         path = Path(path)
         if not path.is_file():
             raise ArtifactError(f"no artifact at {path}")
         try:
             with open(path) as handle:
                 record = json.load(handle)
-        except json.JSONDecodeError as error:
-            raise ArtifactError(f"artifact {path} is not valid JSON: {error}") from error
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ArtifactCorruptError(
+                f"artifact {path} is not valid JSON: {error}"
+            ) from error
         validate_record(record)
         return record
+
+    def quarantine(self, experiment_id: str, profile: str, key: str, reason: str = "") -> Optional[Path]:
+        """Move a corrupt artifact aside as ``<name>.json.corrupt``.
+
+        Corrupt entries are *renamed*, never overwritten: the damaged bytes
+        stay on disk for post-mortem while the original address becomes free
+        for a fresh run.  ``*.corrupt`` files are invisible to
+        :meth:`entries`/:meth:`exists` (the glob only matches ``*.json``) and
+        are listed by :meth:`corrupt_files`.
+
+        Returns the quarantine path, or ``None`` when the artifact vanished
+        before it could be moved (e.g. a concurrent writer already healed it).
+        The *reason* is recorded in a ``.corrupt.reason`` sidecar next to the
+        quarantined file so the cause survives the process.
+        """
+        path = self.path_for(experiment_id, profile, key)
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            return None
+        if reason:
+            try:
+                target.with_name(target.name + ".reason").write_text(reason + "\n")
+            except OSError:  # pragma: no cover - the rename already succeeded
+                pass
+        return target
+
+    def corrupt_files(self) -> List[Path]:
+        """Quarantined ``*.corrupt`` entries currently in the store (sorted)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.json.corrupt"))
+
+    def scan(self) -> Tuple[List[Dict[str, object]], List[Tuple[Path, str]]]:
+        """All readable records plus the unreadable paths, without raising.
+
+        The graceful-degradation counterpart of :meth:`entries`: a report over
+        a store that survived a crash should render everything readable and
+        *annotate* the rest, not die with a traceback.  Returns
+        ``(records, unreadable)`` where ``unreadable`` pairs each bad path
+        with the reason it could not be loaded.
+        """
+        records: List[Dict[str, object]] = []
+        unreadable: List[Tuple[Path, str]] = []
+        if not self.root.is_dir():
+            return records, unreadable
+        for path in sorted(self.root.glob("*.json")):
+            if path.name.startswith("."):
+                continue
+            try:
+                records.append(self.read_path(path))
+            except ArtifactError as error:
+                unreadable.append((path, str(error)))
+        return records, unreadable
 
     def entries(self) -> List[Dict[str, object]]:
         """All records in the store, sorted by file name.

@@ -18,6 +18,10 @@ CONC      Sorting on the star graph through the embedding        ``exp_sorting``
 CMP       Star vs hypercube comparison (introduction)            ``exp_star_vs_hypercube``
 NETWORK-  Star vs pancake vs bubble-sort vs hypercube            ``exp_network_family``
 FAMILY    (the Cayley family on the rank-indexed core)
+FAULT-    Monte-Carlo disconnection probability under node       ``exp_fault_connectivity``
+CONN...   faults (zero below the connectivity, Wilson CIs)
+FAULT-    Route stretch of fault-aware rerouting (detour vs      ``exp_fault_stretch``
+STRETCH   healthy shortest path, normal CIs)
 ========  =====================================================  =========================
 """
 
@@ -33,6 +37,8 @@ from repro.experiments.claims import (  # noqa: F401 (re-exported for the regist
     exp_sorting,
     exp_star_vs_hypercube,
     exp_network_family,
+    exp_fault_connectivity,
+    exp_fault_stretch,
 )
 
 __all__ = [
@@ -47,4 +53,6 @@ __all__ = [
     "exp_sorting",
     "exp_star_vs_hypercube",
     "exp_network_family",
+    "exp_fault_connectivity",
+    "exp_fault_stretch",
 ]

@@ -33,12 +33,20 @@ Usage
     neither flag the Markdown goes to stdout, ``-`` selects stdout
     explicitly.
 
-The exit code of ``run`` is non-zero when any executed experiment reports
-``claim_holds: false``, so the text, JSON and store modes are all
-CI-checkable.
+Failure semantics
+-----------------
+``run`` degrades gracefully: a shard that keeps failing (``--max-retries``
+attempts, exponential backoff) or exceeds ``--shard-timeout`` does not kill
+the run -- its siblings complete and persist, the failed shards are listed
+in a table on stderr (experiment, profile, key, attempts, last error) and
+the exit code is 1.  Exit codes: 0 all shards ran and every claim holds;
+1 a shard failed or a claim is false; 2 usage or environment errors
+(unknown experiment, empty store, ...), reported as one readable line on
+stderr rather than a traceback.
 
 Progress lines of a store-backed run (``ran FIG2 ... 0.01s`` / ``cached
-THM4 ...``) go to *stderr*; stdout carries only the tables or the JSON.
+THM4 ...``, plus ``retry`` / ``failed`` events) go to *stderr*; stdout
+carries only the tables or the JSON.
 """
 
 from __future__ import annotations
@@ -48,7 +56,7 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.exceptions import ArtifactError
+from repro.exceptions import ArtifactError, ReproError
 from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -128,6 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --out: re-run shards even when their artifact is already "
         "in the store",
     )
+    run_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="failed attempts a shard may retry (exponential backoff) before "
+        "it is reported as failed (default: 1)",
+    )
+    run_parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill a shard's worker after SECONDS and count the attempt as "
+        "failed (needs --jobs >= 2; default: no limit)",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="render a static report from an artifact store"
@@ -199,6 +223,14 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
     stream_tables = not json_to_stdout and args.jobs == 1
 
     def progress(shard, status, elapsed, record):
+        if status in ("retry", "failed"):
+            # Failure events are always worth a stderr line, store or not.
+            print(
+                f"{status:6s} {shard.experiment_id:14s} {shard.profile:7s} "
+                f"{shard.key}  attempt {record['attempts']}: {record['error']}",
+                file=sys.stderr,
+            )
+            return
         if store is not None:
             line = f"{status:6s} {shard.experiment_id:14s} {shard.profile:7s} {shard.key}"
             if status == "ran":
@@ -209,14 +241,31 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
             print()
 
     report = run_shards(
-        shards, jobs=args.jobs, store=store, force=args.force, progress=progress
+        shards,
+        jobs=args.jobs,
+        store=store,
+        force=args.force,
+        progress=progress,
+        max_retries=args.max_retries,
+        shard_timeout=args.shard_timeout,
+        # Retry/failure warnings already surface as progress events; the
+        # store-level ones (quarantines) only come through here.
+        warn=lambda message: (
+            print(f"warning: {message}", file=sys.stderr)
+            if "quarantined" in message
+            else None
+        ),
     )
     if store is not None:
-        print(
+        summary = (
             f"{len(shards)} shard(s): {len(report.executed)} ran, "
-            f"{len(report.cached)} cached (store: {store.root})",
-            file=sys.stderr,
+            f"{len(report.cached)} cached"
         )
+        if report.failed:
+            summary += f", {len(report.failed)} FAILED"
+        print(summary + f" (store: {store.root})", file=sys.stderr)
+    if report.failed:
+        print(_failure_table(report.failed), file=sys.stderr)
 
     if not json_to_stdout and not stream_tables:
         for payload in report.payloads():
@@ -231,12 +280,45 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
             with open(args.json, "w") as handle:
                 handle.write(payload_text)
                 handle.write("\n")
-    return 0 if report.claims_hold() else 1
+    return 0 if report.ok and report.claims_hold() else 1
+
+
+def _failure_table(failures) -> str:
+    """The per-shard failure table printed on stderr after a degraded run."""
+    headers = ("experiment", "profile", "key", "attempts", "last error")
+    rows = [
+        (
+            failure.shard.experiment_id,
+            failure.shard.profile,
+            failure.shard.key,
+            str(failure.attempts),
+            failure.error,
+        )
+        for failure in failures
+    ]
+    widths = [
+        max(len(headers[col]), max(len(row[col]) for row in rows))
+        for col in range(len(headers) - 1)  # last column runs free
+    ]
+    lines = [f"{len(rows)} shard(s) failed permanently:"]
+    for row in [headers] + rows:
+        cells = [f"{row[col]:{widths[col]}s}" for col in range(len(widths))]
+        lines.append("  " + "  ".join(cells + [row[-1]]))
+    return "\n".join(lines)
 
 
 def _cmd_report(args, parser: argparse.ArgumentParser) -> int:
     store = ArtifactStore(args.store)
-    records = registry_sorted(store.entries())
+    # Best-effort load: a damaged entry must not take the whole report down
+    # with it -- render what is readable and annotate the rest on stderr.
+    readable, unreadable = store.scan()
+    for path, reason in unreadable:
+        print(f"warning: skipping unreadable artifact {path.name}: {reason}",
+              file=sys.stderr)
+    for path in store.corrupt_files():
+        print(f"warning: quarantined artifact present: {path.name}",
+              file=sys.stderr)
+    records = registry_sorted(readable)
     if not records:
         raise ArtifactError(
             f"no artifacts found in {args.store!r}; produce some with "
@@ -266,16 +348,25 @@ def _cmd_report(args, parser: argparse.ArgumentParser) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`~repro.exceptions.ReproError`: unknown
+    experiment, empty store, malformed artifacts, ...) become one readable
+    stderr line and exit code 2 instead of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "run":
-        return _cmd_run(args, parser)
-    if args.command == "report":
-        return _cmd_report(args, parser)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args, parser)
+        if args.command == "report":
+            return _cmd_report(args, parser)
+    except ReproError as error:
+        print(f"repro-star: error: {error}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
 
 

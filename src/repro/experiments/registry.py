@@ -42,6 +42,8 @@ from repro.experiments.figures import (
 from repro.experiments.claims import (
     exp_broadcast,
     exp_dilation,
+    exp_fault_connectivity,
+    exp_fault_stretch,
     exp_lemma1_no_dilation1,
     exp_lemma2_transposition_distance,
     exp_network_family,
@@ -267,6 +269,25 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             exp_network_family,
             fast={"degrees": (3, 4), "fault_trials": 3},
             heavy={"degrees": (3, 4, 5, 6), "fault_trials": 20},
+        ),
+        _spec(
+            "FAULT-CONNECTIVITY",
+            "Fault campaign: disconnection probability vs node-fault rate",
+            exp_fault_connectivity,
+            fast={"degrees": (3,), "fault_rates": (0.1, 0.25), "trials": 12},
+            heavy={"degrees": (4, 5), "trials": 200},
+        ),
+        _spec(
+            "FAULT-STRETCH",
+            "Fault campaign: rerouting stretch vs node-fault rate",
+            exp_fault_stretch,
+            fast={
+                "degrees": (3,),
+                "fault_rates": (0.0, 0.2),
+                "trials": 6,
+                "pairs_per_trial": 4,
+            },
+            heavy={"degrees": (4, 5), "trials": 60},
         ),
     )
 }

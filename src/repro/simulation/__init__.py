@@ -1,0 +1,60 @@
+"""Monte-Carlo fault injection with fault-aware rerouting.
+
+The paper's fault-tolerance story (star graphs stay connected under up to
+``n - 2`` node faults, Section 2) gets its campaign layer here: seeded
+random node-fault trials over the alive-mask connectivity services, BFS
+detour rerouting on the masked adjacency table, and degradation curves --
+disconnection probability and route stretch vs fault rate, every point
+carrying a confidence interval.
+
+Layout:
+
+* :mod:`repro.simulation.stats` -- Wilson / normal intervals and the
+  order-free per-trial seed derivation;
+* :mod:`repro.simulation.rerouting` -- masked BFS sweeps and explicit
+  detour paths on the surviving subgraph;
+* :mod:`repro.simulation.campaign` -- the campaigns themselves, plus the
+  matched-size family instances (star / pancake / bubble-sort at ``n!``
+  nodes, hypercube at ``ceil(log2 n!)`` dimensions).
+
+The FAULT-CONNECTIVITY and FAULT-STRETCH registry experiments are thin
+tables over these functions; everything here is importable and testable
+without the experiment stack.
+"""
+
+from repro.simulation.campaign import (
+    CAMPAIGN_FAMILIES,
+    ConnectivityPoint,
+    StretchPoint,
+    campaign_instances,
+    connectivity_campaign,
+    connectivity_campaign_reference,
+    fault_counts_for_rates,
+    sample_fault_indices,
+    stretch_campaign,
+)
+from repro.simulation.rerouting import masked_bfs_distances, masked_route
+from repro.simulation.stats import (
+    Z_95,
+    derive_trial_seed,
+    mean_interval,
+    wilson_interval,
+)
+
+__all__ = [
+    "CAMPAIGN_FAMILIES",
+    "ConnectivityPoint",
+    "StretchPoint",
+    "campaign_instances",
+    "connectivity_campaign",
+    "connectivity_campaign_reference",
+    "fault_counts_for_rates",
+    "sample_fault_indices",
+    "stretch_campaign",
+    "masked_bfs_distances",
+    "masked_route",
+    "Z_95",
+    "derive_trial_seed",
+    "mean_interval",
+    "wilson_interval",
+]

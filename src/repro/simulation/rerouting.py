@@ -1,0 +1,149 @@
+"""Fault-aware rerouting: BFS detours on the masked adjacency table.
+
+When nodes fail, the closed-form routes of the healthy topology (e.g. the
+star graph's cycle-structure paths) stop being available; survivors reroute
+by searching the *surviving* subgraph.  This module runs that search as
+frontier sweeps over ``topology.neighbor_index_table()`` restricted to an
+alive mask -- the same index-native pattern as
+:func:`repro.topology.routing.bfs_distances_from` and
+:func:`repro.topology.routing.connected_under_alive_mask`, so no tuple sets
+or per-fault graph copies are built.
+
+:func:`masked_bfs_distances` is the campaign workhorse (one sweep serves all
+targets of a source); :func:`masked_route` materialises one actual detour
+path with parent tracking, used by the property tests to check that the
+reported distances are *realisable* routes, edge by edge.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology.base import Topology
+
+try:  # NumPy is the fast path; every function keeps a pure-Python fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+__all__ = ["masked_bfs_distances", "masked_route"]
+
+
+def _check_alive_origin(alive, origin_index: int, num_nodes: int) -> None:
+    if not 0 <= origin_index < num_nodes:
+        raise InvalidParameterError(
+            f"origin index {origin_index!r} outside [0, {num_nodes})"
+        )
+    if not bool(alive[origin_index]):
+        raise InvalidParameterError(
+            f"origin index {origin_index} is not alive; routes start at survivors"
+        )
+
+
+def masked_bfs_distances(topology: "Topology", origin_index: int, alive):
+    """Distances from *origin_index* through alive nodes only.
+
+    Parameters
+    ----------
+    topology : Topology
+        The healthy topology; faults are expressed through *alive*, not by
+        rebuilding the graph.
+    origin_index : int
+        ``node_index`` of the (alive) source.
+    alive : boolean mask
+        Indexed by ``node_index``; dead nodes are impassable *and*
+        unreachable.
+
+    Returns
+    -------
+    distances
+        Indexed by ``node_index``: hop count of the shortest surviving
+        detour, ``-1`` for dead or disconnected nodes.  NumPy ``int64``
+        array when NumPy is available, else a list of ints.
+    """
+    table = topology.neighbor_index_table()
+    num_nodes = topology.num_nodes
+    if _np is not None:
+        alive_mask = _np.asarray(alive, dtype=bool)
+        _check_alive_origin(alive_mask, origin_index, num_nodes)
+        distances = _np.full(num_nodes, -1, dtype=_np.int64)
+        distances[origin_index] = 0
+        frontier = _np.array([origin_index], dtype=_np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            candidates = table[frontier].reshape(-1)
+            candidates = candidates[candidates >= 0]
+            candidates = candidates[
+                alive_mask[candidates] & (distances[candidates] < 0)
+            ]
+            if candidates.size == 0:
+                break
+            distances[candidates] = level
+            frontier = _np.unique(candidates)
+        return distances
+
+    alive_list = [bool(flag) for flag in alive]
+    _check_alive_origin(alive_list, origin_index, num_nodes)
+    distances = [-1] * num_nodes
+    distances[origin_index] = 0
+    queue = deque([origin_index])
+    while queue:
+        current = queue.popleft()
+        next_level = distances[current] + 1
+        for neighbor in table[current]:
+            if neighbor >= 0 and alive_list[neighbor] and distances[neighbor] < 0:
+                distances[neighbor] = next_level
+                queue.append(neighbor)
+    return distances
+
+
+def masked_route(
+    topology: "Topology", source_index: int, target_index: int, alive
+) -> Optional[List[int]]:
+    """One shortest surviving detour as an explicit node-index path.
+
+    Runs a parent-tracking BFS restricted to the alive mask and returns the
+    path ``[source_index, ..., target_index]`` (so ``len(path) - 1`` hops,
+    matching :func:`masked_bfs_distances`), or ``None`` when the target is
+    dead or unreachable.  Every consecutive pair is an edge of *topology*
+    and every visited node is alive -- the property tests verify both.
+    """
+    table = topology.neighbor_index_table()
+    num_nodes = topology.num_nodes
+    alive_list = (
+        _np.asarray(alive, dtype=bool) if _np is not None else [bool(f) for f in alive]
+    )
+    _check_alive_origin(alive_list, source_index, num_nodes)
+    if not 0 <= target_index < num_nodes:
+        raise InvalidParameterError(
+            f"target index {target_index!r} outside [0, {num_nodes})"
+        )
+    if not bool(alive_list[target_index]):
+        return None
+    if target_index == source_index:
+        return [source_index]
+    parents = [-1] * num_nodes
+    parents[source_index] = source_index
+    queue = deque([source_index])
+    while queue:
+        current = queue.popleft()
+        for neighbor in table[current]:
+            neighbor = int(neighbor)
+            if neighbor < 0 or not bool(alive_list[neighbor]):
+                continue
+            if parents[neighbor] >= 0:
+                continue
+            parents[neighbor] = current
+            if neighbor == target_index:
+                path = [neighbor]
+                while path[-1] != source_index:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(neighbor)
+    return None

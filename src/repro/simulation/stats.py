@@ -1,0 +1,109 @@
+"""Small statistics kit for the Monte-Carlo fault campaigns.
+
+Campaign estimates carry uncertainty: disconnection probabilities are
+binomial proportions reported with Wilson score intervals (well-behaved at
+the boundary -- most fault points see *zero* disconnections, where the naive
+normal interval collapses to a meaningless ``0 +/- 0``), and mean route
+stretch is reported with a normal-approximation interval over the per-pair
+stretch samples.
+
+Trial seeding lives here too: :func:`derive_trial_seed` hashes the campaign
+seed together with the trial's coordinates so that every trial draws from an
+independent, *order-free* stream -- trial 17 of fault point 3 sees the same
+randomness whether the campaign runs serially, sharded, or restarted, which
+is what keeps the FAULT-* experiments pure functions of their parameters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Sequence, Tuple
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "Z_95",
+    "derive_trial_seed",
+    "wilson_interval",
+    "mean_interval",
+]
+
+#: Two-sided 95% normal critical value used by every campaign interval.
+Z_95 = 1.959963984540054
+
+
+def derive_trial_seed(seed: int, *coordinates: object) -> int:
+    """A stable, independent RNG seed for one trial of a campaign.
+
+    Hashes (SHA-256) the canonical JSON of ``(seed, *coordinates)`` down to
+    a 64-bit integer.  Coordinates are whatever identifies the trial -- e.g.
+    ``(family, fault_count, trial_index)`` -- so distinct trials get
+    decorrelated streams while the same trial is reproducible from params
+    alone, independent of execution order or process boundaries.
+    """
+    blob = json.dumps([seed, *coordinates], sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = Z_95
+) -> Tuple[float, float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Parameters
+    ----------
+    successes : int
+        Observed successes (``0 <= successes <= trials``).
+    trials : int
+        Number of Bernoulli trials (positive).
+    z : float, optional
+        Two-sided normal critical value (default 95%).
+
+    Returns
+    -------
+    (p_hat, low, high)
+        The point estimate and the interval bounds, each in ``[0, 1]``.
+        Unlike the naive normal interval, the bounds stay informative at the
+        boundary: ``successes = 0`` yields ``(0, 0, z^2 / (n + z^2))``.
+    """
+    if trials <= 0:
+        raise InvalidParameterError(f"trials must be positive, got {trials!r}")
+    if not 0 <= successes <= trials:
+        raise InvalidParameterError(
+            f"successes must be in [0, {trials}], got {successes!r}"
+        )
+    p_hat = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = (p_hat + z2 / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / trials + z2 / (4 * trials * trials))
+        / denominator
+    )
+    return p_hat, max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def mean_interval(
+    values: Sequence[float], z: float = Z_95
+) -> Tuple[float, float, float]:
+    """Normal-approximation confidence interval for a sample mean.
+
+    Returns ``(mean, low, high)``; with fewer than two samples the interval
+    degenerates to the point estimate (there is no spread to estimate).
+    Raises :class:`~repro.exceptions.InvalidParameterError` on an empty
+    sample -- campaigns report "no reroutable pairs" explicitly instead of
+    passing an empty list here.
+    """
+    n = len(values)
+    if n == 0:
+        raise InvalidParameterError("mean_interval needs at least one sample")
+    mean = sum(values) / n
+    if n == 1:
+        return mean, mean, mean
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    margin = z * math.sqrt(variance / n)
+    return mean, mean - margin, mean + margin

@@ -14,7 +14,12 @@ import json
 import pytest
 
 from repro.analysis.stored import claim_summary, load_results, stored_result, stored_rows
-from repro.exceptions import ArtifactError, InvalidParameterError
+from repro.exceptions import (
+    ArtifactCorruptError,
+    ArtifactError,
+    InvalidParameterError,
+    ShardFailedError,
+)
 from repro.experiments.artifacts import (
     ArtifactSchema,
     ArtifactStore,
@@ -422,3 +427,220 @@ class TestReportRenderers:
         )
         assert "FAILS" in render_markdown_report([record])
         assert "fails" in render_html_report([record])
+
+
+class TestCorruptVsStale:
+    """Corrupt entries are quarantined (evidence kept); stale ones re-run."""
+
+    def _write_cheap(self, store, experiment_id="FIG4", profile="fast"):
+        result = run_experiment(experiment_id, profile=profile)
+        params = get_spec(experiment_id).params(profile)
+        payload = build_payload(profile, params, result)
+        key = artifact_key(experiment_id, profile, params)
+        return store.write(build_record(key, payload, 0.0)), key
+
+    def test_corrupt_json_raises_corrupt_error(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path, key = self._write_cheap(store)
+        path.write_text("{ truncated")
+        with pytest.raises(ArtifactCorruptError):
+            store.read("FIG4", "fast", key)
+
+    def test_missing_envelope_keys_are_corrupt(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path, key = self._write_cheap(store)
+        path.write_text(json.dumps({"key": key}))
+        with pytest.raises(ArtifactCorruptError):
+            store.read("FIG4", "fast", key)
+
+    def test_stale_schema_version_is_not_corrupt(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path, key = self._write_cheap(store)
+        stale = json.loads(path.read_text())
+        stale["schema_version"] = 0
+        path.write_text(json.dumps(stale))
+        with pytest.raises(ArtifactError) as excinfo:
+            store.read("FIG4", "fast", key)
+        assert not isinstance(excinfo.value, ArtifactCorruptError)
+
+    def test_quarantine_renames_with_reason_sidecar(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path, key = self._write_cheap(store)
+        path.write_text("garbage")
+        moved = store.quarantine("FIG4", "fast", key, reason="not json")
+        assert moved is not None and moved.name == path.name + ".corrupt"
+        assert not path.exists() and moved.read_text() == "garbage"
+        assert moved.with_name(moved.name + ".reason").read_text().strip() == "not json"
+        # Quarantined files are invisible to the store's normal listing...
+        assert store.entries() == [] and not store.exists("FIG4", "fast", key)
+        # ...but enumerable for diagnostics.
+        assert store.corrupt_files() == [moved]
+        # Quarantining an absent entry is a no-op, not an error.
+        assert store.quarantine("FIG4", "fast", key) is None
+
+    def test_runner_quarantines_corrupt_and_reruns(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        shards = plan_shards(["FIG4", "TAB1"], profile="fast")
+        baseline = run_shards(shards, store=store)
+        victim = tmp_path / store.filename("FIG4", "fast", shards[0].key)
+        victim.write_text("{ not json")
+        warnings = []
+        report = run_shards(shards, store=store, warn=warnings.append)
+        # The corrupt shard re-ran, the healthy one cache-hit.
+        assert report.executed == [shards[0].key]
+        assert report.cached == [shards[1].key]
+        assert report.payloads() == baseline.payloads()
+        assert any("quarantined" in w for w in warnings)
+        assert len(store.corrupt_files()) == 1
+        # The store healed: a fresh run is a full cache hit.
+        healed = run_shards(shards, store=store)
+        assert healed.executed == [] and len(healed.cached) == 2
+
+    def test_runner_reruns_stale_without_quarantine(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        shards = plan_shards(["FIG4"], profile="fast")
+        run_shards(shards, store=store)
+        path = tmp_path / store.filename("FIG4", "fast", shards[0].key)
+        stale = json.loads(path.read_text())
+        stale["schema_version"] = 0
+        path.write_text(json.dumps(stale))
+        report = run_shards(shards, store=store)
+        assert report.executed == [shards[0].key]
+        assert report.warnings == [] and store.corrupt_files() == []
+
+    def test_scan_reports_unreadable_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path, _ = self._write_cheap(store)
+        bad = tmp_path / "TAB1__fast__0000000000000000.json"
+        bad.write_text("}{")
+        readable, unreadable = store.scan()
+        assert [r["payload"]["experiment_id"] for r in readable] == ["FIG4"]
+        assert len(unreadable) == 1 and unreadable[0][0] == bad
+
+
+class TestRunnerRetries:
+    """Bounded retry with backoff; permanent failures degrade gracefully."""
+
+    def test_forced_failure_exhausts_budget_serial(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_FAIL", "TAB1")
+        store = ArtifactStore(tmp_path)
+        shards = plan_shards(CHEAP_IDS, profile="fast")
+        events = []
+        report = run_shards(
+            shards,
+            store=store,
+            max_retries=1,
+            retry_backoff=0.0,
+            progress=lambda s, status, e, r: events.append((s.experiment_id, status)),
+        )
+        assert not report.ok
+        assert [f.shard.experiment_id for f in report.failed] == ["TAB1"]
+        assert report.failed[0].attempts == 2  # initial try + 1 retry
+        assert "chaos hook" in report.failed[0].error
+        # Siblings completed and persisted despite the failure.
+        assert len(report.records) == len(CHEAP_IDS) - 1
+        assert ("TAB1", "retry") in events and ("TAB1", "failed") in events
+        with pytest.raises(ShardFailedError, match="TAB1"):
+            report.raise_failures()
+        # The failed shard left nothing behind; healing run completes it.
+        monkeypatch.delenv("REPRO_CHAOS_FAIL")
+        healed = run_shards(shards, store=store)
+        assert healed.ok and healed.executed == [
+            s.key for s in shards if s.experiment_id == "TAB1"
+        ]
+
+    def test_forced_failure_degrades_parallel(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_FAIL", "LEM1")
+        store = ArtifactStore(tmp_path)
+        shards = plan_shards(CHEAP_IDS, profile="fast")
+        report = run_shards(
+            shards, jobs=2, store=store, max_retries=0, retry_backoff=0.0
+        )
+        assert [f.shard.experiment_id for f in report.failed] == ["LEM1"]
+        assert len(report.records) == len(CHEAP_IDS) - 1
+        assert len(report.records) + len(report.failed) == len(shards)
+
+    def test_retry_succeeds_within_budget(self, tmp_path, monkeypatch):
+        # The hang hook with a flag file fires exactly once; with zero hang
+        # seconds it is a benign no-op marker, so use FAIL semantics instead:
+        # a shard that fails once then succeeds must not surface as failed.
+        calls = {"n": 0}
+        from repro.experiments import runner as runner_mod
+
+        original = runner_mod.execute_shard
+
+        def flaky(shard, environment=None):
+            if shard.experiment_id == "FIG4" and calls["n"] == 0:
+                calls["n"] += 1
+                raise RuntimeError("transient")
+            return original(shard, environment)
+
+        monkeypatch.setattr(runner_mod, "execute_shard", flaky)
+        shards = plan_shards(["FIG4"], profile="fast")
+        report = runner_mod.run_shards(shards, max_retries=1, retry_backoff=0.0)
+        assert report.ok and len(report.records) == 1
+        assert any("retrying" in w for w in report.warnings)
+
+    def test_invalid_arguments_rejected(self):
+        shards = plan_shards(["FIG4"], profile="fast")
+        with pytest.raises(InvalidParameterError):
+            run_shards(shards, max_retries=-1)
+        with pytest.raises(InvalidParameterError):
+            run_shards(shards, shard_timeout=0.0)
+        with pytest.raises(InvalidParameterError):
+            run_shards(shards, retry_backoff=-0.5)
+
+
+class TestRunnerChaos:
+    """Worker death and hangs: the campaign survives and stays bit-exact."""
+
+    def test_sigkill_mid_campaign_resumes_bit_identical(self, tmp_path, monkeypatch):
+        """Acceptance: a SIGKILLed worker neither loses completed shards nor
+        corrupts the store; the victim retries and the final aggregate equals
+        the all-serial run bit for bit."""
+        shards = plan_shards(CHEAP_IDS, profile="fast")
+        serial = run_shards(shards, store=ArtifactStore(tmp_path / "serial"))
+        assert serial.ok
+
+        flag = tmp_path / "kill-once"
+        monkeypatch.setenv("REPRO_CHAOS_KILL", "TAB1")
+        monkeypatch.setenv("REPRO_CHAOS_KILL_FLAG", str(flag))
+        store = ArtifactStore(tmp_path / "chaos")
+        report = run_shards(shards, jobs=2, store=store, retry_backoff=0.0)
+        assert flag.exists()  # the kill actually fired
+        assert report.ok, [f.error for f in report.failed]
+        assert any("worker process died" in w for w in report.warnings)
+        assert json.dumps(report.payloads()) == json.dumps(serial.payloads())
+        assert store.corrupt_files() == []
+        # Resume: everything is cached, still bit-identical to serial.
+        resumed = run_shards(shards, jobs=2, store=store)
+        assert resumed.executed == [] and len(resumed.cached) == len(shards)
+        assert json.dumps(resumed.payloads()) == json.dumps(serial.payloads())
+
+    def test_repeated_worker_death_bounded(self, tmp_path, monkeypatch):
+        """A shard that reliably kills its worker fails after the death
+        budget instead of respawning pools forever."""
+        monkeypatch.setenv("REPRO_CHAOS_KILL", "TAB1")  # no flag: every time
+        shards = plan_shards(["TAB1", "FIG4"], profile="fast")
+        report = run_shards(shards, jobs=2, retry_backoff=0.0)
+        assert [f.shard.experiment_id for f in report.failed] == ["TAB1"]
+        assert "worker process died" in report.failed[0].error
+        assert [r["payload"]["experiment_id"] for r in report.records] == ["FIG4"]
+
+    def test_hang_times_out_and_fails(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_HANG", "TAB1")
+        monkeypatch.setenv("REPRO_CHAOS_HANG_SECONDS", "30")
+        shards = plan_shards(["TAB1", "FIG4"], profile="fast")
+        report = run_shards(
+            shards, jobs=2, max_retries=0, shard_timeout=1.0, retry_backoff=0.0
+        )
+        assert [f.shard.experiment_id for f in report.failed] == ["TAB1"]
+        assert "timed out" in report.failed[0].error
+        assert [r["payload"]["experiment_id"] for r in report.records] == ["FIG4"]
+
+    def test_serial_engine_ignores_kill_hook(self, monkeypatch):
+        """The kill hook is worker-only: the in-process engine must survive."""
+        monkeypatch.setenv("REPRO_CHAOS_KILL", "FIG4")
+        shards = plan_shards(["FIG4"], profile="fast")
+        report = run_shards(shards)
+        assert report.ok and len(report.records) == 1

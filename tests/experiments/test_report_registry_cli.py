@@ -68,8 +68,8 @@ class TestExperimentResult:
 
 
 class TestRegistry:
-    def test_seventeen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 17
+    def test_nineteen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 19
         assert set(list_experiments()) == set(EXPERIMENTS)
 
     def test_specs_have_titles_and_matching_ids(self):
@@ -192,9 +192,12 @@ class TestCli:
         assert len(artifacts) == len(EXPERIMENTS)
         assert all(a["summary"].get("claim_holds", True) for a in artifacts)
 
-    def test_run_unknown_experiment_raises(self):
-        with pytest.raises(InvalidParameterError):
-            main(["run", "UNKNOWN"])
+    def test_run_unknown_experiment_exits_2_readably(self, capsys):
+        """Library errors become one readable stderr line, not a traceback."""
+        assert main(["run", "UNKNOWN"]) == 2
+        err = capsys.readouterr().err
+        assert "repro-star: error:" in err
+        assert "unknown experiment 'UNKNOWN'" in err
 
 
 class TestCliSharded:
@@ -279,11 +282,10 @@ class TestCliSharded:
         out = capsys.readouterr().out
         assert out.index("[LEM1]") < out.index("[TAB1]") < out.index("[FIG4]")
 
-    def test_report_empty_store_raises(self, tmp_path):
-        from repro.exceptions import ArtifactError
-
-        with pytest.raises(ArtifactError):
-            main(["report", str(tmp_path / "nothing")])
+    def test_report_empty_store_exits_2_readably(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nothing")]) == 2
+        err = capsys.readouterr().err
+        assert "repro-star: error:" in err and "no artifacts found" in err
 
 
 class TestJsonSafe:
