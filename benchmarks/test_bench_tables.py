@@ -1,0 +1,186 @@
+"""Benchmarks for the out-of-core table layer and the streamed kernels.
+
+Ablation pairs quantify the design decisions of the two-tier table core:
+
+* **build vs reuse** — constructing a memmap table set from scratch against
+  opening the cached file (the "built once per ``(generators, n)``" story);
+* **chunked vs single block** — the streamed kernels at their default block
+  size against one whole-graph block (identical results; the pair measures
+  what bounding peak memory costs in wall-clock);
+* **numpy vs numba** — the same kernels on the compiled backend, skipped
+  when numba is not importable (tier-1 stays numba-free).
+
+The ``heavy_bench`` rows exercise the acceptance-scale graph ``S_10``
+(3,628,800 nodes): the full closed-form distance sweep, one fault-campaign
+connectivity trial over the adjacency table and the batched measurement of
+the degree-10 embedding (~26 M mesh edges).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import numba_available
+from repro.embedding.mesh_to_star import MeshToStarEmbedding
+from repro.embedding.metrics import measure_embedding
+from repro.permutations.ranking import star_position_generators
+from repro.tables import build_move_tables, open_move_tables
+from repro.topology.routing import (
+    connected_under_alive_mask,
+    index_bfs_distances,
+    star_distances_from,
+)
+from repro.topology.star import StarGraph
+
+requires_numba = pytest.mark.skipif(
+    not numba_available(), reason="numba not importable (optional backend)"
+)
+
+
+@pytest.fixture()
+def numba_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "numba")
+
+
+@pytest.fixture(scope="module")
+def star7_table():
+    star = StarGraph(7)
+    return star, star.neighbor_index_table()
+
+
+# ------------------------------------------------------------ cache ablation
+def test_table_build_cold(benchmark, tmp_path):
+    """Ablation (a): build the S_7 memmap tables from scratch every round."""
+    generators = star_position_generators(7)
+
+    def build():
+        return build_move_tables(generators, 7, cache_dir=tmp_path, force=True)
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+
+
+def test_table_open_warm(benchmark, tmp_path):
+    """Ablation (b): reopen the already-built S_7 file (the steady state)."""
+    generators = star_position_generators(7)
+    build_move_tables(generators, 7, cache_dir=tmp_path)
+
+    def reopen():
+        return open_move_tables(generators, 7, cache_dir=tmp_path)
+
+    benchmark(reopen)
+
+
+# ----------------------------------------------------- chunked-vs-dense pair
+def test_star_distances_s7_single_block(benchmark):
+    """Ablation (a): the S_7 distance sweep as one whole-graph block."""
+    origin = tuple(range(7))
+    result = benchmark(star_distances_from, origin, chunk_nodes=10**9)
+    assert int(np.asarray(result).max()) == 9
+
+
+def test_star_distances_s7_chunked(benchmark):
+    """Ablation (b): the same sweep streamed in 4096-node blocks."""
+    origin = tuple(range(7))
+    result = benchmark(star_distances_from, origin, chunk_nodes=4096)
+    assert int(np.asarray(result).max()) == 9
+
+
+# ------------------------------------------------------- numpy-vs-numba pair
+def test_index_bfs_s7_numpy(benchmark, star7_table):
+    """Ablation (a): frontier BFS over the S_7 adjacency table, NumPy oracle."""
+    star, table = star7_table
+    distances = benchmark(index_bfs_distances, table, star.num_nodes, 0)
+    assert int(np.asarray(distances).max()) == 9
+
+
+@requires_numba
+def test_index_bfs_s7_numba(benchmark, star7_table, numba_backend):
+    """Ablation (b): the same BFS on the compiled array-queue kernel."""
+    star, table = star7_table
+    index_bfs_distances(table, star.num_nodes, 0)  # JIT warm-up round
+    distances = benchmark(index_bfs_distances, table, star.num_nodes, 0)
+    assert int(np.asarray(distances).max()) == 9
+
+
+def test_measure_embedding_s7_numpy(benchmark):
+    """Ablation (a): batched embedding measurement at degree 7, NumPy oracle."""
+    metrics = benchmark(lambda: measure_embedding(MeshToStarEmbedding(7)))
+    assert metrics.dilation == 3
+
+
+@requires_numba
+def test_measure_embedding_s7_numba(benchmark, numba_backend):
+    """Ablation (b): the same measurement on the compiled edge kernel."""
+    measure_embedding(MeshToStarEmbedding(7))  # JIT warm-up round
+    metrics = benchmark(lambda: measure_embedding(MeshToStarEmbedding(7)))
+    assert metrics.dilation == 3
+
+
+# --------------------------------------------------------- S_10 heavy rows
+@pytest.mark.heavy_bench
+def test_s10_distances_sweep_chunked(benchmark):
+    """S_10 closed-form distance sweep, default 1 Mi-node blocks (~620 MiB peak)."""
+    origin = tuple(range(9, -1, -1))
+
+    def sweep():
+        return star_distances_from(origin)
+
+    distances = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert int(np.asarray(distances).max()) == 13  # diameter floor(3*9/2)
+
+
+@pytest.mark.heavy_bench
+def test_s10_distances_sweep_single_block(benchmark):
+    """Ablation twin: the S_10 sweep as one 3.6 M-node block."""
+    origin = tuple(range(9, -1, -1))
+
+    def sweep():
+        return star_distances_from(origin, chunk_nodes=10**9)
+
+    distances = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert int(np.asarray(distances).max()) == 13
+
+
+@pytest.mark.heavy_bench
+def test_s10_fault_campaign_trial(benchmark):
+    """One S_10 connectivity trial: flood 3.6 M nodes with 8 faults applied."""
+    star = StarGraph(10)
+    table = star.neighbor_index_table()  # warm the dense-tier tables
+    assert table.shape == (3628800, 9)
+    rng = np.random.default_rng(1990)
+    alive = np.ones(star.num_nodes, dtype=bool)
+    alive[rng.choice(star.num_nodes, size=8, replace=False)] = False
+
+    def trial():
+        return connected_under_alive_mask(star, alive)
+
+    connected = benchmark.pedantic(trial, rounds=1, iterations=1)
+    assert connected  # n - 2 = 8 faults can never disconnect S_10
+
+
+@pytest.mark.heavy_bench
+def test_s10_measure_embedding(benchmark):
+    """Batched measurement of the degree-10 embedding (~26 M mesh edges)."""
+
+    def build_and_measure():
+        return measure_embedding(MeshToStarEmbedding(10))
+
+    metrics = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    assert metrics.dilation == 3
+
+
+@pytest.mark.heavy_bench
+@requires_numba
+def test_s10_fault_campaign_trial_numba(benchmark, numba_backend):
+    """Ablation twin: the S_10 connectivity trial on the compiled BFS kernel."""
+    star = StarGraph(10)
+    star.neighbor_index_table()
+    rng = np.random.default_rng(1990)
+    alive = np.ones(star.num_nodes, dtype=bool)
+    alive[rng.choice(star.num_nodes, size=8, replace=False)] = False
+    connected_under_alive_mask(star, alive)  # JIT warm-up round
+
+    def trial():
+        return connected_under_alive_mask(star, alive)
+
+    connected = benchmark.pedantic(trial, rounds=1, iterations=1)
+    assert connected

@@ -1,0 +1,134 @@
+"""Kernel backend and chunk-size selection for the out-of-core fast paths.
+
+Two environment knobs tune the whole-graph kernels without touching any call
+site:
+
+``REPRO_BACKEND`` (``numpy`` | ``numba``, default ``numpy``)
+    Which implementation the gather/bincount inner loops run on.  The NumPy
+    path is the bit-identical parity oracle (the same retained-reference
+    pattern as the object-vs-numeric program engines); the Numba path JIT
+    compiles scalar loops over the same arrays and must agree bit for bit
+    (``tests/tables/test_backend_numba.py``).  Requesting ``numba`` when the
+    package is not importable warns once and falls back to NumPy, so
+    campaigns keep running on numba-free hosts.
+
+``REPRO_TABLE_CACHE`` (directory path)
+    Where :mod:`repro.tables` keeps the memmap move-table files (the name is
+    defined here so the degree guard in :mod:`repro.permutations.ranking` can
+    cite the remedy without importing the cache module).
+
+``REPRO_CHUNK_NODES`` (positive int, default ``1048576``)
+    How many node indices a streamed kernel processes per block.  The chunked
+    sweeps (:func:`repro.topology.routing.star_distances_from`, the frontier
+    BFS, the masked floods, the batched embedding tallies) touch
+    ``O(chunk * degree)`` elements at a time instead of whole ``n!`` arrays,
+    which is what keeps peak RSS bounded on degree 10-12 graphs.  Chunking is
+    exact: every chunk size produces bit-identical results (only wall-clock
+    and memory change).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from functools import lru_cache
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "BACKEND_ENV",
+    "CHUNK_ENV",
+    "TABLE_CACHE_ENV",
+    "BACKENDS",
+    "DEFAULT_CHUNK_NODES",
+    "backend_name",
+    "numba_available",
+    "use_numba",
+    "resolve_chunk_nodes",
+]
+
+BACKEND_ENV = "REPRO_BACKEND"
+CHUNK_ENV = "REPRO_CHUNK_NODES"
+TABLE_CACHE_ENV = "REPRO_TABLE_CACHE"
+BACKENDS = ("numpy", "numba")
+
+#: Default node-index block size of the streamed kernels (~8 MB of int64
+#: indices per gathered column; the full working set of one chunk stays in
+#: the tens of megabytes at the top table degrees).
+DEFAULT_CHUNK_NODES = 1 << 20
+
+_warned_numba_missing = False
+
+
+def backend_name() -> str:
+    """The requested kernel backend (``REPRO_BACKEND``), validated.
+
+    Read at call time (not import time) so tests and long-lived processes can
+    switch backends between kernels.
+    """
+    value = os.environ.get(BACKEND_ENV, "").strip().lower() or "numpy"
+    if value not in BACKENDS:
+        raise InvalidParameterError(
+            f"{BACKEND_ENV} must be one of {BACKENDS}, got {value!r}"
+        )
+    return value
+
+
+@lru_cache(maxsize=None)
+def numba_available() -> bool:
+    """True when the optional :mod:`numba` package is importable."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def use_numba() -> bool:
+    """True when kernels should dispatch to the compiled Numba loops.
+
+    Requires ``REPRO_BACKEND=numba`` *and* an importable numba; a request
+    without the package warns once and falls back to the NumPy oracle rather
+    than failing mid-campaign.
+    """
+    global _warned_numba_missing
+    if backend_name() != "numba":
+        return False
+    if numba_available():
+        return True
+    if not _warned_numba_missing:
+        warnings.warn(
+            f"{BACKEND_ENV}=numba requested but numba is not importable; "
+            "falling back to the numpy backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        _warned_numba_missing = True
+    return False
+
+
+def resolve_chunk_nodes(explicit=None) -> int:
+    """The node-index block size of the streamed kernels.
+
+    Precedence: an explicit ``chunk_nodes=`` argument, then the
+    ``REPRO_CHUNK_NODES`` environment variable, then
+    :data:`DEFAULT_CHUNK_NODES`.  Any positive int is valid -- chunk size
+    never changes results, only the memory/throughput trade-off.
+    """
+    if explicit is not None:
+        value = explicit
+    else:
+        raw = os.environ.get(CHUNK_ENV, "").strip()
+        if not raw:
+            return DEFAULT_CHUNK_NODES
+        try:
+            value = int(raw)
+        except ValueError:
+            raise InvalidParameterError(
+                f"{CHUNK_ENV} must be a positive integer, got {raw!r}"
+            ) from None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise InvalidParameterError(
+            f"chunk_nodes must be a positive integer, got {value!r}"
+        )
+    return value

@@ -18,10 +18,13 @@ Measurement of the paper's
 :class:`~repro.embedding.mesh_to_star.MeshToStarEmbedding` runs index-native
 (PR 3): the canonical Lemma-2 paths are never materialised as tuples -- every
 hop is a gather through the star generator move tables, and the
-dilation/congestion/load tallies are ``np.bincount`` / ``np.unique``
-reductions over batched path lengths and interned host-link ids
-(:func:`_mesh_to_star_edge_data`).  That kernel is what makes the degree-8
-Theorem-4 sweep run in seconds.  Other embeddings walk their edge paths
+dilation/congestion/load tallies accumulate into one bounded usage array over
+dense ``(min rank, generator)`` host-link ids (:func:`_mesh_to_star_edge_data`).
+Edges are processed in ``REPRO_CHUNK_NODES`` blocks (bit-exact for every
+block size) so the kernel streams at the memmap-tier degrees too, and each
+block dispatches to a compiled loop under ``REPRO_BACKEND=numba``.  That
+kernel is what makes the degree-8 Theorem-4 sweep run in seconds.  Other
+embeddings walk their edge paths
 per-hop (the construction cost dominates there); that implementation is
 :func:`measure_embedding_reference`, which doubles as the parity oracle for
 the batched kernel (``tests/embedding/test_base_and_metrics.py``).
@@ -298,8 +301,10 @@ def _mesh_to_star_edge_data(embedding: Embedding) -> Optional[_MeshToStarEdgeDat
 
     Returns None (caller falls back to the tuple walk) unless *embedding* is
     a :class:`~repro.embedding.mesh_to_star.MeshToStarEmbedding` with NumPy
-    available and the degree within the dense-table bound.  The result is
-    cached on the embedding instance.
+    available and the degree within the table bound (the streamed memmap tier
+    included -- the kernel chunks its gathers, see
+    :func:`_build_mesh_to_star_edge_data`).  The result is cached on the
+    embedding instance.
     """
     from repro.embedding.mesh_to_star import MeshToStarEmbedding
     from repro.permutations.ranking import within_table_degree
@@ -315,16 +320,21 @@ def _mesh_to_star_edge_data(embedding: Embedding) -> Optional[_MeshToStarEdgeDat
     return cached
 
 
-def _build_mesh_to_star_edge_data(embedding) -> _MeshToStarEdgeData:
-    from repro.permutations.ranking import all_permutations_array
+def _build_mesh_to_star_edge_data(embedding, chunk_nodes=None) -> _MeshToStarEdgeData:
+    from repro.backend import resolve_chunk_nodes, use_numba
+    from repro.permutations.ranking import (
+        MAX_DENSE_DEGREE,
+        all_permutations_array,
+        unrank_batch,
+    )
 
     n = embedding.n
     star = embedding.star
     mesh = embedding.mesh
     num_nodes = star.num_nodes
+    width = n - 1
 
     ranks = _np.asarray(embedding.rank_vertex_map(), dtype=_np.int64)
-    perms = all_permutations_array(n)
     move = star.neighbor_index_table()  # column j-1 = generator g_j
 
     injective = (
@@ -349,87 +359,132 @@ def _build_mesh_to_star_edge_data(embedding) -> _MeshToStarEdgeData:
             paths_consistent=False,
         )
 
-    lengths_parts: List = []
-    link_parts: List = []
-    consistent = True
-    for _dim, u_indices, v_indices in mesh.dimension_edge_indices():
-        u_ranks = ranks[u_indices]
-        v_ranks = ranks[v_indices]
-        if u_ranks.size == 0:
-            continue
-        source = perms[u_ranks].astype(_np.int64)
-        target = perms[v_ranks].astype(_np.int64)
-        differs = source != target
-        rows = _np.arange(source.shape[0])
-        # A mesh edge joins permutations differing by one symbol transposition:
-        # exactly two positions differ, with the symbols exchanged (Lemma 3).
-        i = differs.argmax(axis=1)
-        j = (n - 1) - differs[:, ::-1].argmax(axis=1)
-        consistent = consistent and bool(
-            (differs.sum(axis=1) == 2).all()
-            and (source[rows, i] == target[rows, j]).all()
-            and (source[rows, j] == target[rows, i]).all()
-        )
-        one_hop = i == 0
+    if n <= MAX_DENSE_DEGREE:
+        perms = all_permutations_array(n)
 
-        # Distance-1 edges: a single generator move g_j.
-        r0 = u_ranks[one_hop]
-        hop = move[r0, j[one_hop] - 1]
-        consistent = consistent and bool((hop == v_ranks[one_hop]).all())
-        link_parts.append(_link_ids(r0, hop, num_nodes))
+        def permutation_rows(rank_block):
+            return perms[rank_block].astype(_np.int64)
 
-        # Distance-3 edges: the canonical g_i, g_j, g_i path of Lemma 2.
-        r0 = u_ranks[~one_hop]
-        gi = i[~one_hop] - 1
-        gj = j[~one_hop] - 1
-        r1 = move[r0, gi]
-        r2 = move[r1, gj]
-        r3 = move[r2, gi]
-        consistent = consistent and bool(
-            (r3 == v_ranks[~one_hop]).all()
-            # Simplicity: generator moves are fixed-point free, so consecutive
-            # hops differ; the non-consecutive pairs are checked explicitly.
-            and (r0 != r2).all()
-            and (r1 != r3).all()
-            and (r0 != r3).all()
-        )
-        link_parts.append(_link_ids(r0, r1, num_nodes))
-        link_parts.append(_link_ids(r1, r2, num_nodes))
-        link_parts.append(_link_ids(r2, r3, num_nodes))
-
-        lengths_parts.append(_np.where(one_hop, 1, 3).astype(_np.int64))
-
-    lengths = (
-        _np.concatenate(lengths_parts) if lengths_parts else _np.zeros(0, _np.int64)
-    )
-    links = _np.concatenate(link_parts) if link_parts else _np.zeros(0, _np.int64)
-    guest_edges = int(lengths.size)
-    if links.size:
-        _, usage = _np.unique(links, return_counts=True)
-        max_congestion = int(usage.max())
     else:
-        max_congestion = 0
+        # Memmap-tier degrees: no (n!, n) population array exists; unrank the
+        # endpoint blocks on the fly instead.
+        def permutation_rows(rank_block):
+            return unrank_batch(rank_block, n).astype(_np.int64)
+
+    kernel = None
+    if use_numba():
+        from repro._numba_kernels import mesh_star_edges_kernel as kernel
+
+    # Star edges are (node rank, generator) pairs, so the undirected host
+    # link ``{r, move[r, g]}`` has the dense id ``min * (n-1) + g``: usage
+    # tallies accumulate into one bounded array instead of a concatenate +
+    # np.unique over every traversed hop (whose working set would grow with
+    # the *edge* count, gigabytes at the top degrees).
+    usage = _np.zeros(num_nodes * width, dtype=_np.int64)
+    any_links = False
+    one_hop_edges = 0
+    three_hop_edges = 0
+    consistent = True
+    chunk = resolve_chunk_nodes(chunk_nodes)
+    for _dim, u_indices, v_indices in mesh.dimension_edge_indices():
+        for start in range(0, len(u_indices), chunk):
+            u_ranks = ranks[u_indices[start : start + chunk]]
+            v_ranks = ranks[v_indices[start : start + chunk]]
+            if u_ranks.size == 0:
+                continue
+            source = permutation_rows(u_ranks)
+            target = permutation_rows(v_ranks)
+            if kernel is not None:
+                lengths, links, block_ok = kernel(
+                    source, target, _np.asarray(move), u_ranks, v_ranks
+                )
+                ones = int((lengths == 1).sum())
+                threes = int(lengths.size) - ones
+            else:
+                links, ones, threes, block_ok = _mesh_star_edge_block(
+                    source, target, move, u_ranks, v_ranks, n
+                )
+            one_hop_edges += ones
+            three_hop_edges += threes
+            consistent = consistent and bool(block_ok)
+            if links.size:
+                any_links = True
+                ids, counts = _np.unique(links, return_counts=True)
+                usage[ids] += counts
+
+    guest_edges = one_hop_edges + three_hop_edges
     load = _np.bincount(ranks, minlength=num_nodes)
-    histogram = _np.bincount(lengths) if lengths.size else _np.zeros(0, _np.int64)
+    histogram = {}
+    if one_hop_edges:
+        histogram[1] = one_hop_edges
+    if three_hop_edges:
+        histogram[3] = three_hop_edges
 
     return _MeshToStarEdgeData(
         name=embedding.name,
         num_nodes=num_nodes,
         guest_edges=guest_edges,
-        dilation=int(lengths.max()) if guest_edges else 0,
-        average_dilation=(float(lengths.sum()) / guest_edges) if guest_edges else 0.0,
-        congestion=max_congestion,
+        dilation=3 if three_hop_edges else (1 if one_hop_edges else 0),
+        average_dilation=(
+            (one_hop_edges + 3.0 * three_hop_edges) / guest_edges
+            if guest_edges
+            else 0.0
+        ),
+        congestion=int(usage.max()) if any_links else 0,
         max_load=int(load.max()),
-        edge_length_histogram={
-            int(length): int(count) for length, count in enumerate(histogram) if count
-        },
+        edge_length_histogram=histogram,
         injective=injective,
         paths_consistent=consistent,
     )
 
 
-def _link_ids(u_ranks, v_ranks, num_nodes: int):
-    """Canonical undirected host-link ids ``min * num_nodes + max``."""
-    lo = _np.minimum(u_ranks, v_ranks)
-    hi = _np.maximum(u_ranks, v_ranks)
-    return lo * num_nodes + hi
+def _mesh_star_edge_block(source, target, move, u_ranks, v_ranks, n: int):
+    """Vectorised Lemma-2 path tallies for one block of mesh edges.
+
+    Returns ``(link_ids, one_hop_count, three_hop_count, consistent)`` --
+    the parity oracle of the compiled
+    :func:`repro._numba_kernels.mesh_star_edges_kernel`.
+    """
+    width = n - 1
+    differs = source != target
+    rows = _np.arange(source.shape[0])
+    # A mesh edge joins permutations differing by one symbol transposition:
+    # exactly two positions differ, with the symbols exchanged (Lemma 3).
+    i = differs.argmax(axis=1)
+    j = (n - 1) - differs[:, ::-1].argmax(axis=1)
+    consistent = bool(
+        (differs.sum(axis=1) == 2).all()
+        and (source[rows, i] == target[rows, j]).all()
+        and (source[rows, j] == target[rows, i]).all()
+    )
+    one_hop = i == 0
+    link_parts: List = []
+
+    # Distance-1 edges: a single generator move g_j.
+    r0 = u_ranks[one_hop]
+    g = j[one_hop] - 1
+    hop = move[r0, g]
+    consistent = consistent and bool((hop == v_ranks[one_hop]).all())
+    link_parts.append(_np.minimum(r0, hop) * width + g)
+
+    # Distance-3 edges: the canonical g_i, g_j, g_i path of Lemma 2.
+    r0 = u_ranks[~one_hop]
+    gi = i[~one_hop] - 1
+    gj = j[~one_hop] - 1
+    r1 = move[r0, gi]
+    r2 = move[r1, gj]
+    r3 = move[r2, gi]
+    consistent = consistent and bool(
+        (r3 == v_ranks[~one_hop]).all()
+        # Simplicity: generator moves are fixed-point free, so consecutive
+        # hops differ; the non-consecutive pairs are checked explicitly.
+        and (r0 != r2).all()
+        and (r1 != r3).all()
+        and (r0 != r3).all()
+    )
+    link_parts.append(_np.minimum(r0, r1) * width + gi)
+    link_parts.append(_np.minimum(r1, r2) * width + gj)
+    link_parts.append(_np.minimum(r2, r3) * width + gi)
+
+    links = _np.concatenate(link_parts)
+    return links, int(one_hop.sum()), int((~one_hop).sum()), consistent

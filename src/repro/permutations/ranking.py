@@ -24,7 +24,15 @@ This module is the substrate of the rank-indexed fast core:
 * :func:`move_tables` -- the star graph's ``(n-1) x n!`` tables (generators
   ``g_j`` exchange tuple positions 0 and ``j``), the cached special case of
   :func:`move_tables_for` shared by every
-  :class:`~repro.topology.star.StarGraph` and SIMD machine of that degree.
+  :class:`~repro.topology.star.StarGraph` and SIMD machine of that degree;
+* :func:`unrank_batch` / :func:`permutations_slice` -- vectorised unranking
+  of whole rank arrays, the substrate of the chunked whole-graph kernels and
+  the out-of-core table builds (:mod:`repro.tables`).
+
+Degrees are bounded by a **two-tier** guard
+(:func:`within_table_degree`/:func:`require_table_degree`): in-RAM dense
+tables through :data:`MAX_DENSE_DEGREE`, memmap-streamed tables from the
+on-disk cache through :data:`MAX_TABLE_DEGREE`.
 """
 
 from __future__ import annotations
@@ -55,18 +63,28 @@ __all__ = [
     "all_permutations",
     "all_permutations_array",
     "ranks_of",
+    "unrank_batch",
+    "permutations_slice",
     "move_tables",
     "move_tables_for",
     "star_position_generators",
+    "MAX_DENSE_DEGREE",
     "MAX_TABLE_DEGREE",
     "within_table_degree",
     "require_table_degree",
 ]
 
-# Beyond this degree the dense n! tables stop being a sensible default
+# Beyond this degree the dense n! tables stop fitting comfortably in RAM
 # (n = 11 would need 8 * 10 * 11! bytes ~ 3.2 GB across the generators,
 # plus comparable working sets in the vectorised sweeps).
-MAX_TABLE_DEGREE = 10
+MAX_DENSE_DEGREE = 10
+
+# Absolute table ceiling: degrees MAX_DENSE_DEGREE+1 .. MAX_TABLE_DEGREE are
+# served as np.memmap column views from the on-disk cache (repro.tables) and
+# swept in node-index chunks instead of whole n! arrays.  n = 13 would need a
+# 560 GB table file per generator set -- beyond "out of core" into "out of
+# disk", so the guard stops there.
+MAX_TABLE_DEGREE = 12
 
 # int64 rank accumulation overflows at 21! - 1 > 2**63 - 1; beyond this the
 # vectorised path must defer to exact Python integers.
@@ -238,30 +256,53 @@ def all_permutations(n: int) -> Iterator[Tuple[int, ...]]:
 
 
 # --------------------------------------------------------------- dense tables
-def within_table_degree(n: int) -> bool:
-    """True when the dense per-degree tables exist for degree *n*.
+def within_table_degree(n: int, *, dense: bool = False) -> bool:
+    """True when per-degree tables exist for degree *n* (two-tier bound).
+
+    The default answers for the *streamed* tier: tables through
+    :data:`MAX_TABLE_DEGREE` exist, served as memmap column views from the
+    on-disk cache (:mod:`repro.tables`) above :data:`MAX_DENSE_DEGREE`.
+    ``dense=True`` asks about the in-RAM tier only (callers that must
+    materialise whole ``n!`` arrays at once, e.g.
+    :func:`all_permutations_array`).  Without NumPy there is no memmap tier,
+    so the dense bound applies throughout.
 
     Consumers with a tuple-based fallback (the SIMD machines' generic route
     path, the batched embedding kernels) gate the fast path on this predicate;
     consumers that *require* the tables call :func:`require_table_degree`.
     """
+    if dense or _np is None:
+        return n <= MAX_DENSE_DEGREE
     return n <= MAX_TABLE_DEGREE
 
 
-def require_table_degree(n: int) -> None:
+def require_table_degree(n: int, *, dense: bool = False) -> None:
     """Raise the one canonical error when degree *n* exceeds the table bound.
 
-    Every dense-table entry point (:func:`all_permutations_array`,
-    :func:`move_tables`, :func:`move_tables_for`) raises this same
-    :class:`~repro.exceptions.TableDegreeError` with the same message, so
-    callers can catch the overflow uniformly regardless of which table was
-    requested first.
+    Every table entry point (:func:`all_permutations_array`,
+    :func:`move_tables`, :func:`move_tables_for`, the cache builds in
+    :mod:`repro.tables`) raises this same
+    :class:`~repro.exceptions.TableDegreeError`, so callers can catch the
+    overflow uniformly regardless of which table was requested first.  The
+    message names the ceiling that actually applied: the absolute
+    :data:`MAX_TABLE_DEGREE` bound, or -- for ``dense=True`` requests in the
+    memmap range -- the :data:`MAX_DENSE_DEGREE` in-RAM bound together with
+    the on-disk cache remedy.
     """
     if n < 1:
         raise InvalidParameterError(f"degree must be >= 1, got {n}")
-    if not within_table_degree(n):
+    if n > MAX_TABLE_DEGREE:
         raise TableDegreeError(
-            f"dense per-degree tables are limited to n <= {MAX_TABLE_DEGREE}, got {n}"
+            f"per-degree move tables are limited to n <= {MAX_TABLE_DEGREE} "
+            f"even memmap-streamed from the on-disk cache, got {n}"
+        )
+    if not within_table_degree(n, dense=dense):
+        raise TableDegreeError(
+            f"in-RAM dense tables are limited to n <= {MAX_DENSE_DEGREE}, got {n}; "
+            f"degrees {MAX_DENSE_DEGREE + 1}..{MAX_TABLE_DEGREE} stream from the "
+            f"on-disk move-table cache (REPRO_TABLE_CACHE dir, built once via "
+            f"`repro-star tables build {n}` or on first use)"
+            + ("" if _np is not None else " and require NumPy")
         )
 
 
@@ -276,8 +317,11 @@ def all_permutations_array(n: int):
     Row ``r`` is the permutation of rank ``r``.  Requires NumPy; raises
     :class:`InvalidParameterError` when NumPy is unavailable (callers fall
     back to :func:`all_permutations`).  The returned array is read-only.
+    Bounded by the **dense** tier (:data:`MAX_DENSE_DEGREE`) -- the whole
+    ``(n!, n)`` array lives in RAM; chunked consumers use
+    :func:`permutations_slice` instead, which reaches the memmap ceiling.
     """
-    _check_table_degree(n)
+    _check_table_degree(n, dense=True)
     if _np is None:
         raise InvalidParameterError("all_permutations_array requires NumPy")
     if n == 1:
@@ -320,6 +364,74 @@ def ranks_of(rows) -> "list":
             ranks += smaller * fact[n - 1 - i]
         return ranks
     return [_rank_unchecked(tuple(row)) for row in rows]
+
+
+def unrank_batch(ranks, n: int):
+    """Vectorised :func:`permutation_unrank` over a whole rank array.
+
+    Returns the ``(m, n)`` ``int8`` array whose row ``k`` is the permutation
+    of rank ``ranks[k]`` -- i.e. the corresponding rows of
+    :func:`all_permutations_array` *without materialising it*, which is what
+    lets the chunked kernels gather endpoint permutations at degrees beyond
+    the dense tier.  The inverse of :func:`ranks_of` on valid inputs.
+
+    The per-step state is ``O(m * n)``: Lehmer digits come from repeated
+    ``divmod`` by factorials and the available-symbol pools shrink by an
+    index-shift gather per step, so a block of a million degree-12 ranks
+    costs tens of megabytes, never ``n!``.  Falls back to a per-rank
+    :func:`permutation_unrank` list (of tuples) without NumPy.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"degree must be >= 1, got {n}")
+    if _np is None:
+        return [permutation_unrank(int(rank), n) for rank in ranks]
+    if n > _MAX_INT64_RANK_DEGREE:
+        raise InvalidParameterError(
+            f"unrank_batch accumulates int64 ranks, limited to n <= "
+            f"{_MAX_INT64_RANK_DEGREE}, got {n}"
+        )
+    ranks = _np.asarray(ranks, dtype=_np.int64)
+    if ranks.ndim != 1:
+        raise InvalidParameterError("unrank_batch expects a 1-D rank array")
+    fact = factorials(n)
+    total = fact[n]
+    if ranks.size and not (
+        int(ranks.min()) >= 0 and int(ranks.max()) < total
+    ):
+        raise InvalidParameterError(f"ranks must be in [0, {total})")
+    m = ranks.shape[0]
+    out = _np.empty((m, n), dtype=_np.int8)
+    available = _np.tile(_np.arange(n, dtype=_np.int8), (m, 1))
+    remainder = ranks.copy()
+    for i in range(n):
+        digit, remainder = _np.divmod(remainder, fact[n - 1 - i])
+        chosen = _np.take_along_axis(available, digit[:, None], axis=1)
+        out[:, i] = chosen[:, 0]
+        if i < n - 1:
+            # Drop the chosen symbol: left-shift everything after its index.
+            keep = _np.arange(available.shape[1] - 1, dtype=_np.int64)
+            take = keep + (keep >= digit[:, None])
+            available = _np.take_along_axis(available, take, axis=1)
+    return out
+
+
+def permutations_slice(start: int, stop: int, n: int):
+    """Rows ``start .. stop-1`` of :func:`all_permutations_array`, streamed.
+
+    The contiguous special case of :func:`unrank_batch`, used by the chunked
+    whole-graph sweeps and the on-disk table builds (:mod:`repro.tables`) to
+    walk all ``n!`` permutations one block at a time.  Valid through the
+    memmap ceiling (:data:`MAX_TABLE_DEGREE`).
+    """
+    require_table_degree(n)
+    total = factorials(n)[n]
+    if not (0 <= start <= stop <= total):
+        raise InvalidParameterError(
+            f"slice [{start}, {stop}) out of range for degree {n} (n! = {total})"
+        )
+    if _np is None:
+        return [permutation_unrank(rank, n) for rank in range(start, stop)]
+    return unrank_batch(_np.arange(start, stop, dtype=_np.int64), n)
 
 
 @lru_cache(maxsize=None)
@@ -386,10 +498,20 @@ def move_tables_for(generators: Tuple[Tuple[int, ...], ...], n: int) -> Tuple:
     The cache is LRU-bounded: one entry can reach hundreds of megabytes at
     the top degrees, so sweeps over many distinct generator sets must not
     pin every table set forever.
+
+    Above :data:`MAX_DENSE_DEGREE` the tables are not built in RAM at all:
+    they come back as read-only ``np.memmap`` column views of the on-disk
+    cache (:func:`repro.tables.memmap_move_tables`), built once per
+    ``(generators, n)`` and paged in on demand -- the API and the entries are
+    identical, only the residence changes.
     """
     require_table_degree(n)
     _check_generators(generators, n)
     if _np is not None:
+        if n > MAX_DENSE_DEGREE:
+            from repro.tables import memmap_move_tables
+
+            return memmap_move_tables(generators, n)
         perms = all_permutations_array(n)
         tables = []
         for generator in generators:

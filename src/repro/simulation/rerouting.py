@@ -44,7 +44,7 @@ def _check_alive_origin(alive, origin_index: int, num_nodes: int) -> None:
         )
 
 
-def masked_bfs_distances(topology: "Topology", origin_index: int, alive):
+def masked_bfs_distances(topology: "Topology", origin_index: int, alive, *, chunk_nodes=None):
     """Distances from *origin_index* through alive nodes only.
 
     Parameters
@@ -57,6 +57,9 @@ def masked_bfs_distances(topology: "Topology", origin_index: int, alive):
     alive : boolean mask
         Indexed by ``node_index``; dead nodes are impassable *and*
         unreachable.
+    chunk_nodes : int, optional
+        Frontier block size of the chunked sweep (default
+        ``REPRO_CHUNK_NODES``); any value yields bit-identical distances.
 
     Returns
     -------
@@ -64,28 +67,25 @@ def masked_bfs_distances(topology: "Topology", origin_index: int, alive):
         Indexed by ``node_index``: hop count of the shortest surviving
         detour, ``-1`` for dead or disconnected nodes.  NumPy ``int64``
         array when NumPy is available, else a list of ints.
+
+    The NumPy path is the shared chunked frontier sweep
+    :func:`repro.topology.routing.index_bfs_distances` (memmap-friendly,
+    ``REPRO_BACKEND=numba``-dispatched) restricted to the alive mask.
     """
     table = topology.neighbor_index_table()
     num_nodes = topology.num_nodes
     if _np is not None:
+        from repro.topology.routing import index_bfs_distances
+
         alive_mask = _np.asarray(alive, dtype=bool)
         _check_alive_origin(alive_mask, origin_index, num_nodes)
-        distances = _np.full(num_nodes, -1, dtype=_np.int64)
-        distances[origin_index] = 0
-        frontier = _np.array([origin_index], dtype=_np.int64)
-        level = 0
-        while frontier.size:
-            level += 1
-            candidates = table[frontier].reshape(-1)
-            candidates = candidates[candidates >= 0]
-            candidates = candidates[
-                alive_mask[candidates] & (distances[candidates] < 0)
-            ]
-            if candidates.size == 0:
-                break
-            distances[candidates] = level
-            frontier = _np.unique(candidates)
-        return distances
+        return index_bfs_distances(
+            table,
+            num_nodes,
+            origin_index,
+            alive_mask=alive_mask,
+            chunk_nodes=chunk_nodes,
+        )
 
     alive_list = [bool(flag) for flag in alive]
     _check_alive_origin(alive_list, origin_index, num_nodes)

@@ -398,11 +398,14 @@ class CayleyGraph(Topology):
 
         Column ``g`` of the ``(n!, num_generators)`` table is
         ``move_tables()[g]``, exactly the order of :meth:`neighbors`; the
-        graph is regular, so no ``-1`` padding ever appears.
+        graph is regular, so no ``-1`` padding ever appears.  At the
+        memmap-tier degrees the shared on-disk base of the column views is
+        returned directly (:func:`repro.tables.stacked_neighbor_table`) --
+        no dense copy.
         """
         tables = self.move_tables()
         try:
-            import numpy as np
+            import numpy  # noqa: F401
         except ImportError:  # pragma: no cover - NumPy absent
             from array import array as _array
 
@@ -410,9 +413,9 @@ class CayleyGraph(Topology):
                 _array("q", (table[rank] for table in tables))
                 for rank in range(self.num_nodes)
             ]
-        table = np.column_stack(tables).astype(np.int64, copy=False)
-        table.setflags(write=False)
-        return table
+        from repro.tables import stacked_neighbor_table
+
+        return stacked_neighbor_table(tables)
 
     # ------------------------------------------------------------------ dunder
     def __repr__(self) -> str:

@@ -33,6 +33,13 @@ over ``Topology.neighbor_index_table()`` (:func:`bfs_distances_from`,
 (:func:`star_distances_between`).  Every service is bit-identical to the
 retained tuple/dict BFS references (see ``tests/topology/test_index_services``)
 and falls back to pure-Python sweeps when NumPy is unavailable.
+
+The NumPy sweeps process node-index blocks of ``REPRO_CHUNK_NODES`` at a time
+(:func:`index_bfs_distances`, the chunked :func:`star_distances_from`) so
+peak RSS stays bounded through the memmap-tier degrees (11-12, see
+:mod:`repro.tables`), and dispatch to compiled loops under
+``REPRO_BACKEND=numba`` -- both exactly, with the unchunked NumPy path as the
+parity oracle (``tests/tables/``).
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ __all__ = [
     "mesh_route",
     "hypercube_distance",
     "hypercube_route",
+    "index_bfs_distances",
     "bfs_distances_from",
     "distance_matrix",
     "DistanceSummary",
@@ -138,31 +146,74 @@ def star_distance_profile(source: Sequence[int], target: Sequence[int]) -> Tuple
     return distance, len(cycles), displaced
 
 
-def star_distances_from(origin: Sequence[int]):
+def star_distances_from(origin: Sequence[int], *, chunk_nodes=None):
     """Distances from *origin* to every permutation of its degree, by rank.
 
     Entry ``r`` of the result is ``star_distance(origin, unrank(r))``.  The
     closed form ``d = m + c - 2*[position 0 displaced]`` (``m`` displaced
     positions, ``c`` non-trivial cycles of the relative permutation) is
-    evaluated for all ``n!`` targets in one vectorised sweep: the relative
-    mappings are gathered from the rank-ordered permutation array, displaced
-    positions are counted with one comparison, and the non-trivial cycle count
-    comes from pointer-doubling cycle-minima (a position is counted once per
-    cycle, at the cycle's minimum).  Falls back to a per-node cycle walk when
-    NumPy is unavailable.
+    evaluated for all ``n!`` targets in rank-block sweeps: each block's
+    permutations come as views of the cached population array at dense-tier
+    degrees, or are unranked on the fly above it
+    (:func:`~repro.permutations.ranking.permutations_slice` -- no ``(n!, n)``
+    array is materialised at the memmap tier), the relative mappings are
+    gathered, displaced positions are counted with one comparison, and the
+    non-trivial cycle count comes from pointer-doubling cycle-minima (a
+    position is counted once per cycle, at the cycle's minimum).  Chunking is
+    exact -- every ``chunk_nodes`` (default ``REPRO_CHUNK_NODES``) produces
+    bit-identical results -- and is what keeps peak RSS bounded through the
+    memmap-tier degrees.  With ``REPRO_BACKEND=numba`` each block runs the
+    compiled per-row cycle walk instead of the pointer-doubling oracle.
+    Falls back to a per-node cycle walk when NumPy is unavailable.
     """
     source = tuple(origin)
     if not is_permutation(source):
         raise InvalidParameterError(f"{source!r} is not a permutation")
     n = len(source)
 
-    from repro.permutations.ranking import all_permutations_array
+    from repro.permutations.ranking import (
+        MAX_DENSE_DEGREE,
+        all_permutations_array,
+        factorials,
+        permutations_slice,
+        within_table_degree,
+    )
 
-    if _np is not None and n <= 10:
-        perms = all_permutations_array(n)
-        positions = _np.argsort(perms, axis=1)  # positions[r, s] = index of s in row r
-        mapping = positions[:, list(source)].astype(_np.int64)
-        return _cycle_structure_distances(mapping)
+    if _np is not None and within_table_degree(n):
+        from repro.backend import resolve_chunk_nodes, use_numba
+
+        kernel = None
+        if use_numba():
+            from repro._numba_kernels import cycle_distances_kernel as kernel
+
+        if n <= MAX_DENSE_DEGREE:
+            # Dense tier: rank blocks are views of the cached population
+            # array -- no per-call unranking.
+            perms_all = all_permutations_array(n)
+
+            def perm_block(start, stop):
+                return perms_all[start:stop]
+
+        else:
+            # Memmap tier: no (n!, n) array exists; unrank on the fly.
+            def perm_block(start, stop):
+                return permutations_slice(start, stop, n)
+
+        total = factorials(n)[n]
+        chunk = resolve_chunk_nodes(chunk_nodes)
+        source_columns = list(source)
+        distances = _np.empty(total, dtype=_np.int64)
+        for start in range(0, total, chunk):
+            stop = min(start + chunk, total)
+            perms = perm_block(start, stop)
+            # positions[r, s] = index of symbol s in row r
+            positions = _np.argsort(perms, axis=1)
+            mapping = positions[:, source_columns].astype(_np.int64)
+            if kernel is not None:
+                distances[start:stop] = kernel(mapping)
+            else:
+                distances[start:stop] = _cycle_structure_distances(mapping)
+        return distances
 
     from itertools import permutations as _perms
 
@@ -366,7 +417,69 @@ def _is_star(topology: "Topology") -> bool:
     return isinstance(topology, StarGraph)
 
 
-def _index_sweep_from(topology: "Topology", origin_index: int):
+def index_bfs_distances(
+    table, num_nodes: int, origin_index: int, *, alive_mask=None, chunk_nodes=None
+):
+    """Frontier-sweep BFS over an adjacency index table (NumPy required).
+
+    The one chunked sweep behind :func:`bfs_distances_from`,
+    :func:`connected_under_alive_mask` and the masked rerouting floods
+    (:mod:`repro.simulation.rerouting`): each frontier is processed in
+    ``chunk_nodes`` blocks (default ``REPRO_CHUNK_NODES``), newly reached
+    nodes are marked at the current level and the next frontier is recovered
+    as ``flatnonzero(distances == level)`` -- the same sorted node set the
+    unchunked ``np.unique`` sweep produced, so chunking is bit-exact while
+    per-level gathers stay ``O(chunk * degree)``.  *table* may be an in-RAM
+    array or a memmap (the out-of-core tier pages rows in on demand).
+
+    ``alive_mask`` (boolean, indexed by node) restricts the sweep to
+    surviving nodes; dead nodes are impassable and keep distance ``-1``.
+    With ``REPRO_BACKEND=numba`` the whole sweep runs as one compiled
+    array-queue BFS (BFS levels are unique, so traversal order cannot change
+    the distances).
+    """
+    from repro.backend import resolve_chunk_nodes, use_numba
+
+    if use_numba():
+        from repro._numba_kernels import bfs_distances_kernel
+
+        mask = (
+            alive_mask
+            if alive_mask is not None
+            else _np.ones(num_nodes, dtype=bool)
+        )
+        return bfs_distances_kernel(
+            _np.asarray(table), int(origin_index), _np.asarray(mask, dtype=bool)
+        )
+
+    chunk = resolve_chunk_nodes(chunk_nodes)
+    distances = _np.full(num_nodes, -1, dtype=_np.int64)
+    distances[origin_index] = 0
+    frontier = _np.array([origin_index], dtype=_np.int64)
+    level = 0
+    while frontier.size:
+        level += 1
+        found = False
+        for start in range(0, frontier.size, chunk):
+            block = frontier[start : start + chunk]
+            candidates = table[block].reshape(-1)
+            candidates = candidates[candidates >= 0]
+            if alive_mask is not None:
+                candidates = candidates[
+                    alive_mask[candidates] & (distances[candidates] < 0)
+                ]
+            else:
+                candidates = candidates[distances[candidates] < 0]
+            if candidates.size:
+                distances[candidates] = level
+                found = True
+        if not found:
+            break
+        frontier = _np.flatnonzero(distances == level)
+    return distances
+
+
+def _index_sweep_from(topology: "Topology", origin_index: int, *, chunk_nodes=None):
     """Single-source BFS as a frontier sweep over the adjacency index table.
 
     Returns distances indexed by node index; unreachable nodes hold ``-1``.
@@ -375,20 +488,9 @@ def _index_sweep_from(topology: "Topology", origin_index: int):
     table = topology.neighbor_index_table()
     num_nodes = topology.num_nodes
     if _np is not None:
-        distances = _np.full(num_nodes, -1, dtype=_np.int64)
-        distances[origin_index] = 0
-        frontier = _np.array([origin_index], dtype=_np.int64)
-        level = 0
-        while frontier.size:
-            level += 1
-            candidates = table[frontier].reshape(-1)
-            candidates = candidates[candidates >= 0]
-            candidates = candidates[distances[candidates] < 0]
-            if candidates.size == 0:
-                break
-            distances[candidates] = level
-            frontier = _np.unique(candidates)
-        return distances
+        return index_bfs_distances(
+            table, num_nodes, origin_index, chunk_nodes=chunk_nodes
+        )
 
     distances = [-1] * num_nodes
     distances[origin_index] = 0
@@ -502,19 +604,10 @@ def connected_under_alive_mask(topology: "Topology", alive) -> bool:
         alive_indices = _np.flatnonzero(alive_mask)
         if alive_indices.size == 0:
             return False
-        seen = _np.zeros(topology.num_nodes, dtype=bool)
-        start = int(alive_indices[0])
-        seen[start] = True
-        frontier = _np.array([start], dtype=_np.int64)
-        while frontier.size:
-            candidates = table[frontier].reshape(-1)
-            candidates = candidates[candidates >= 0]
-            candidates = candidates[alive_mask[candidates] & ~seen[candidates]]
-            if candidates.size == 0:
-                break
-            seen[candidates] = True
-            frontier = _np.unique(candidates)
-        return int(seen.sum()) == int(alive_indices.size)
+        distances = index_bfs_distances(
+            table, topology.num_nodes, int(alive_indices[0]), alive_mask=alive_mask
+        )
+        return int((distances >= 0).sum()) == int(alive_indices.size)
 
     alive_list = [bool(flag) for flag in alive]
     try:

@@ -172,11 +172,14 @@ class StarGraph(Topology):
         Column ``j - 1`` of the ``(n!, n - 1)`` table is ``move_tables()[j-1]``,
         so row ``rank`` lists the neighbour ranks along ``g_1 .. g_{n-1}`` --
         exactly the order of :meth:`neighbors`.  The graph is regular, so no
-        ``-1`` padding ever appears.
+        ``-1`` padding ever appears.  At the memmap-tier degrees the tables
+        are column views of one on-disk array, and that shared base *is* the
+        adjacency table -- no dense copy is stacked
+        (:func:`repro.tables.stacked_neighbor_table`).
         """
         tables = move_tables(self._n)
         try:
-            import numpy as np
+            import numpy  # noqa: F401
         except ImportError:  # pragma: no cover - NumPy absent
             from array import array as _array
 
@@ -184,9 +187,9 @@ class StarGraph(Topology):
                 _array("q", (table[rank] for table in tables))
                 for rank in range(self.num_nodes)
             ]
-        table = np.column_stack(tables).astype(np.int64, copy=False)
-        table.setflags(write=False)
-        return table
+        from repro.tables import stacked_neighbor_table
+
+        return stacked_neighbor_table(tables)
 
     def move_tables(self) -> Tuple:
         """The per-degree generator move tables (cached, shared across instances).

@@ -1,0 +1,107 @@
+"""Numba backend parity: compiled kernels must agree bit for bit with NumPy.
+
+The whole file skips when numba is not importable (it is an optional
+accelerator, never a dependency of the tier-1 suite); CI runs it in a
+dedicated job leg with numba installed and ``REPRO_BACKEND=numba``.
+"""
+
+import numpy as np
+import pytest
+
+numba = pytest.importorskip("numba")
+
+from repro.embedding.metrics import (  # noqa: E402
+    measure_embedding,
+    measure_embedding_reference,
+)
+from repro.embedding.mesh_to_star import MeshToStarEmbedding  # noqa: E402
+from repro.simulation.rerouting import masked_bfs_distances  # noqa: E402
+from repro.topology.routing import (  # noqa: E402
+    connected_under_alive_mask,
+    index_bfs_distances,
+    star_distances_from,
+)
+from repro.topology.star import StarGraph  # noqa: E402
+
+
+@pytest.fixture()
+def numba_backend(monkeypatch):
+    """Force the compiled backend on; the numpy run in each test clears it."""
+    monkeypatch.setenv("REPRO_BACKEND", "numba")
+
+
+def _with_numpy(monkeypatch, fn):
+    """Evaluate *fn* under the numpy oracle backend."""
+    monkeypatch.setenv("REPRO_BACKEND", "numpy")
+    try:
+        return fn()
+    finally:
+        monkeypatch.setenv("REPRO_BACKEND", "numba")
+
+
+class TestDistanceParity:
+    def test_star_distances_from(self, numba_backend, monkeypatch):
+        for n, origin in ((4, (3, 1, 0, 2)), (6, tuple(range(6)))):
+            compiled = np.asarray(star_distances_from(origin))
+            oracle = _with_numpy(
+                monkeypatch, lambda: np.asarray(star_distances_from(origin))
+            )
+            assert compiled.dtype == oracle.dtype
+            assert np.array_equal(compiled, oracle)
+
+    def test_star_distances_chunked(self, numba_backend):
+        origin = (2, 0, 4, 1, 3)
+        reference = np.asarray(star_distances_from(origin))
+        for chunk in (1, 7, 10**9):
+            assert np.array_equal(
+                np.asarray(star_distances_from(origin, chunk_nodes=chunk)),
+                reference,
+            )
+
+
+class TestBfsParity:
+    def test_unmasked_bfs(self, numba_backend, monkeypatch):
+        star = StarGraph(5)
+        table = star.neighbor_index_table()
+        compiled = np.asarray(index_bfs_distances(table, star.num_nodes, 17))
+        oracle = _with_numpy(
+            monkeypatch,
+            lambda: np.asarray(index_bfs_distances(table, star.num_nodes, 17)),
+        )
+        assert np.array_equal(compiled, oracle)
+
+    def test_masked_bfs(self, numba_backend, monkeypatch):
+        star = StarGraph(5)
+        alive = np.ones(star.num_nodes, dtype=bool)
+        alive[[3, 17, 44, 90]] = False
+        compiled = np.asarray(masked_bfs_distances(star, 0, alive))
+        oracle = _with_numpy(
+            monkeypatch, lambda: np.asarray(masked_bfs_distances(star, 0, alive))
+        )
+        assert np.array_equal(compiled, oracle)
+        assert int(compiled[3]) == -1
+
+    def test_connectivity_campaign_kernel(self, numba_backend, monkeypatch):
+        star = StarGraph(5)
+        neighbor_ranks = [star.node_index(v) for v in star.neighbors(star.identity)]
+        for dead in (neighbor_ranks, neighbor_ranks[:-1], []):
+            alive = np.ones(star.num_nodes, dtype=bool)
+            alive[list(dead)] = False
+            compiled = connected_under_alive_mask(star, alive)
+            oracle = _with_numpy(
+                monkeypatch, lambda: connected_under_alive_mask(star, alive)
+            )
+            assert compiled == oracle
+
+
+class TestEmbeddingParity:
+    def test_measure_embedding(self, numba_backend, monkeypatch):
+        for n in (3, 4, 5):
+            compiled = measure_embedding(MeshToStarEmbedding(n))
+            oracle = _with_numpy(
+                monkeypatch,
+                lambda: measure_embedding(MeshToStarEmbedding(n)),
+            )
+            assert compiled == oracle
+            # And both must equal the tuple-walking seed implementation.
+            assert compiled == measure_embedding_reference(MeshToStarEmbedding(n))

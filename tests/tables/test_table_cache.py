@@ -1,0 +1,283 @@
+"""The on-disk memmap move-table cache (repro.tables).
+
+The contract under test: tables served from the cache are bit-identical to
+the in-RAM tables, the cache is content-addressed and atomic, and the memmap
+tier plugs into ``move_tables_for`` / ``neighbor_index_table`` without any
+consumer changes (exercised here by lowering ``MAX_DENSE_DEGREE`` so the
+out-of-core path runs at test-sized degrees).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, TableDegreeError
+from repro.experiments.cli import main as cli_main
+from repro.permutations import ranking
+from repro.permutations.ranking import (
+    move_tables,
+    move_tables_for,
+    star_position_generators,
+)
+from repro.tables import (
+    build_move_tables,
+    clear_tables,
+    has_move_tables,
+    list_tables,
+    memmap_move_tables,
+    open_move_tables,
+    stacked_neighbor_table,
+    table_cache_dir,
+    table_key,
+    table_path,
+)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    """A throwaway cache dir installed as REPRO_TABLE_CACHE.
+
+    The per-(generators, n) lru caches are cleared around each use so a
+    memmap cached by one test never leaks its (deleted) backing file into
+    another.
+    """
+    monkeypatch.setenv("REPRO_TABLE_CACHE", str(tmp_path))
+    move_tables_for.cache_clear()
+    move_tables.cache_clear()
+    yield tmp_path
+    move_tables_for.cache_clear()
+    move_tables.cache_clear()
+
+
+class TestAddressing:
+    def test_key_is_canonical_and_input_sensitive(self):
+        star5 = star_position_generators(5)
+        assert table_key(star5, 5) == table_key(tuple(tuple(g) for g in star5), 5)
+        assert table_key(star5, 5) != table_key(star5[:-1], 5)
+        assert table_key(star_position_generators(6), 6) != table_key(star5, 5)
+
+    def test_path_embeds_degree_and_key(self, cache_dir):
+        generators = star_position_generators(5)
+        path = table_path(generators, 5)
+        assert path.parent == cache_dir
+        assert path.name == f"moves__n05__{table_key(generators, 5)}.npy"
+
+    def test_env_override_and_default(self, cache_dir, monkeypatch):
+        assert table_cache_dir() == cache_dir
+        monkeypatch.delenv("REPRO_TABLE_CACHE")
+        default = table_cache_dir()
+        assert default.name == "tables"
+        assert default.parent.name == "repro-star"
+
+
+class TestBuildAndOpen:
+    def test_memmap_tables_bit_identical_to_in_ram(self, cache_dir):
+        for n in (2, 3, 5, 6, 8):
+            generators = star_position_generators(n)
+            dense = move_tables_for(generators, n)
+            streamed = memmap_move_tables(generators, n)
+            assert len(streamed) == len(dense)
+            for in_ram, on_disk in zip(dense, streamed):
+                assert on_disk.dtype == np.int64
+                assert np.array_equal(np.asarray(in_ram), np.asarray(on_disk))
+
+    def test_generic_generator_sets_cache_separately(self, cache_dir):
+        pancake = ((1, 0, 2, 3), (2, 1, 0, 3), (3, 2, 1, 0))
+        dense = move_tables_for(pancake, 4)
+        streamed = memmap_move_tables(pancake, 4)
+        for in_ram, on_disk in zip(dense, streamed):
+            assert np.array_equal(np.asarray(in_ram), np.asarray(on_disk))
+        assert len(list_tables()) == 1
+
+    def test_layout_is_node_major_column_views(self, cache_dir):
+        generators = star_position_generators(5)
+        mm = open_move_tables(generators, 5)
+        assert mm.shape == (120, 4)
+        assert not mm.flags.writeable
+        views = memmap_move_tables(generators, 5)
+        for g, view in enumerate(views):
+            assert view.base is not None
+            assert np.array_equal(view, mm[:, g])
+
+    def test_build_is_chunk_size_invariant(self, cache_dir):
+        generators = star_position_generators(6)
+        reference = np.asarray(open_move_tables(generators, 6))
+        for chunk in (1, 7, 64, 10**9):
+            clear_tables()
+            path = build_move_tables(generators, 6, chunk_nodes=chunk)
+            assert np.array_equal(np.asarray(np.load(path)), reference)
+
+    def test_build_reuses_and_force_rebuilds(self, cache_dir):
+        generators = star_position_generators(4)
+        path = build_move_tables(generators, 4)
+        first_stat = path.stat().st_mtime_ns
+        assert build_move_tables(generators, 4) == path
+        assert path.stat().st_mtime_ns == first_stat  # untouched cache hit
+        build_move_tables(generators, 4, force=True)
+        assert np.array_equal(
+            np.asarray(np.load(path)),
+            np.column_stack([np.asarray(t) for t in move_tables_for(generators, 4)]),
+        )
+
+    def test_build_leaves_no_tmp_files(self, cache_dir):
+        build_move_tables(star_position_generators(5), 5)
+        leftovers = [p.name for p in cache_dir.iterdir() if ".tmp-" in p.name]
+        assert leftovers == []
+
+    def test_meta_sidecar_records_the_inputs(self, cache_dir):
+        generators = star_position_generators(5)
+        path = build_move_tables(generators, 5)
+        meta = json.loads(path.with_name(path.name + ".meta.json").read_text())
+        assert meta["n"] == 5
+        assert meta["num_generators"] == 4
+        assert meta["key"] == table_key(generators, 5)
+        assert tuple(tuple(g) for g in meta["generators"]) == generators
+        assert meta["shape"] == [120, 4]
+
+    def test_has_move_tables(self, cache_dir):
+        generators = star_position_generators(4)
+        assert not has_move_tables(generators, 4)
+        build_move_tables(generators, 4)
+        assert has_move_tables(generators, 4)
+
+    def test_build_rejects_over_ceiling_and_bad_generators(self, cache_dir):
+        with pytest.raises(TableDegreeError):
+            build_move_tables(((1, 0) + tuple(range(2, 13)),), 13)
+        with pytest.raises(InvalidParameterError):
+            build_move_tables(((1, 2, 0),), 3)  # not an involution
+
+
+class TestListAndClear:
+    def test_list_and_clear_roundtrip(self, cache_dir):
+        build_move_tables(star_position_generators(4), 4)
+        build_move_tables(star_position_generators(5), 5)
+        entries = list_tables()
+        assert [entry["n"] for entry in entries] == [4, 5]
+        assert all(entry["bytes"] > 0 for entry in entries)
+        assert clear_tables(degree=4) == 1
+        assert [entry["n"] for entry in list_tables()] == [5]
+        assert clear_tables() == 1
+        assert list_tables() == []
+        assert clear_tables() == 0  # empty (and missing) dirs clear to zero
+
+    def test_list_survives_a_damaged_sidecar(self, cache_dir):
+        path = build_move_tables(star_position_generators(4), 4)
+        path.with_name(path.name + ".meta.json").write_text("{not json")
+        (entry,) = list_tables()
+        assert entry["meta"] is None
+        assert entry["file"] == path.name
+
+    def test_list_of_missing_cache_dir_is_empty(self, tmp_path):
+        assert list_tables(tmp_path / "never-created") == []
+
+
+class TestStackedNeighborTable:
+    def test_returns_shared_base_without_copy(self, cache_dir):
+        views = memmap_move_tables(star_position_generators(5), 5)
+        stacked = stacked_neighbor_table(views)
+        assert stacked is views[0].base
+        assert np.array_equal(
+            stacked, np.column_stack([np.asarray(v) for v in views])
+        )
+
+    def test_stacks_plain_tuples_read_only(self):
+        tables = move_tables(5)
+        stacked = stacked_neighbor_table(tables)
+        assert stacked.dtype == np.int64
+        assert not stacked.flags.writeable
+        assert np.array_equal(stacked, np.column_stack(tables))
+
+    def test_empty_tuple(self):
+        assert stacked_neighbor_table(()).shape == (0, 0)
+
+
+class TestMemmapTierIntegration:
+    """Lower MAX_DENSE_DEGREE so the out-of-core tier runs at tiny degrees."""
+
+    @pytest.fixture()
+    def dense_ceiling_4(self, cache_dir, monkeypatch):
+        monkeypatch.setattr(ranking, "MAX_DENSE_DEGREE", 4)
+        yield
+        # monkeypatch restores the constant; the cache_dir fixture clears the
+        # lru caches that may have trapped memmap-tier entries.
+
+    def test_move_tables_for_streams_above_the_dense_tier(self, dense_ceiling_4):
+        from repro.permutations.generators import apply_star_generator
+        from repro.permutations.ranking import (
+            all_permutations,
+            permutation_rank,
+        )
+
+        generators = star_position_generators(5)
+        streamed = move_tables_for(generators, 5)
+        assert all(isinstance(t, np.memmap) for t in streamed)
+        assert has_move_tables(generators, 5)
+        # Oracle: rank-by-rank tuple application, no array machinery at all.
+        for j, table in enumerate(streamed, start=1):
+            for rank, perm in enumerate(all_permutations(5)):
+                assert int(table[rank]) == permutation_rank(
+                    apply_star_generator(perm, j)
+                )
+
+    def test_star_graph_services_ride_the_memmap_tier(self, dense_ceiling_4):
+        from repro.topology.routing import bfs_distances_from, star_distances_from
+        from repro.topology.star import StarGraph
+
+        star = StarGraph(5)
+        table = star.neighbor_index_table()
+        assert isinstance(table, np.memmap)  # the shared base, not a copy
+        assert table.shape == (120, 4)
+        closed_form = np.asarray(star_distances_from(star.identity))
+        swept = np.asarray(
+            bfs_distances_from(star, star.identity, use_closed_form=False)
+        )
+        assert np.array_equal(closed_form, swept)
+
+    def test_cayley_graph_rides_the_memmap_tier(self, dense_ceiling_4):
+        from repro.topology.cayley import PancakeGraph
+
+        pancake = PancakeGraph(5)
+        table = pancake.neighbor_index_table()
+        assert isinstance(table, np.memmap)
+        # Spot-check adjacency against the tuple API.
+        node = pancake.node_from_index(17)
+        neighbor_ranks = sorted(int(r) for r in table[17])
+        assert neighbor_ranks == sorted(
+            pancake.node_index(v) for v in pancake.neighbors(node)
+        )
+
+
+class TestTablesCli:
+    def test_build_list_clear_roundtrip(self, cache_dir, capsys):
+        assert cli_main(["tables", "build", "5"]) == 0
+        built_path = capsys.readouterr().out.strip()
+        assert built_path.endswith(".npy")
+        assert os.path.exists(built_path)
+
+        assert cli_main(["tables", "list", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert len(listing) == 1
+        assert listing[0]["n"] == 5
+
+        assert cli_main(["tables", "list"]) == 0
+        assert "n=5" in capsys.readouterr().out
+
+        assert cli_main(["tables", "clear", "--degree", "4"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        assert cli_main(["tables", "clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert list_tables() == []
+
+    def test_explicit_cache_flag_beats_env(self, cache_dir, tmp_path_factory, capsys):
+        other = tmp_path_factory.mktemp("other-cache")
+        assert cli_main(["tables", "build", "4", "--cache", str(other)]) == 0
+        capsys.readouterr()
+        assert list_tables(other)[0]["n"] == 4
+        assert list_tables() == []  # env-pointed cache untouched
+
+    def test_over_ceiling_build_exits_2(self, cache_dir, capsys):
+        assert cli_main(["tables", "build", "13"]) == 2
+        err = capsys.readouterr().err
+        assert "n <= 12" in err
