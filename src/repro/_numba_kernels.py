@@ -13,7 +13,14 @@ bit-identical parity oracle:
   :func:`repro.topology.routing.star_distances_from` (per-row cycle walk
   instead of pointer-doubling cycle minima; same closed form, same ints);
 * :func:`mesh_star_edges_kernel` -- the per-edge canonical-path tallies of
-  the batched embedding measurement in :mod:`repro.embedding.metrics`.
+  the batched embedding measurement in :mod:`repro.embedding.metrics`;
+* :func:`rank_batch_kernel` -- the per-row Lehmer encode of
+  :func:`repro.permutations.ranking.rank_batch` (same comparison-count
+  arithmetic as the vectorised NumPy sums, row at a time);
+* :func:`implicit_neighbors_kernel` -- the fused
+  ``unrank -> apply generator -> rank`` loop of
+  :func:`repro.permutations.ranking.implicit_neighbor_block`, the compiled
+  heart of the table-free adjacency backend (``REPRO_NEIGHBORS=implicit``).
 
 The tables may be ``np.memmap`` views (the out-of-core cache of
 :mod:`repro.tables`); numba treats them as ordinary arrays and the OS pages
@@ -29,6 +36,8 @@ __all__ = [
     "bfs_distances_kernel",
     "cycle_distances_kernel",
     "mesh_star_edges_kernel",
+    "rank_batch_kernel",
+    "implicit_neighbors_kernel",
 ]
 
 
@@ -160,3 +169,72 @@ def mesh_star_edges_kernel(source, target, move, u_ranks, v_ranks):
             count += 3
             lengths[e] = 3
     return lengths, links[:count], consistent
+
+
+@njit(cache=True)
+def rank_batch_kernel(perms, fact):
+    """Lexicographic ranks of an ``(m, n)`` permutation batch, one row each.
+
+    ``fact`` is the int64 factorial table ``(0!, ..., n!)``.  Per row the
+    classic O(n^2) Lehmer encode: digit ``i`` counts the smaller symbols to
+    its right -- the same integers as the vectorised comparison sums of the
+    NumPy oracle (``repro.permutations.ranking._rank_rows_numpy``).
+    """
+    m, n = perms.shape
+    out = np.empty(m, dtype=np.int64)
+    for r in range(m):
+        rank = np.int64(0)
+        for i in range(n - 1):
+            pivot = perms[r, i]
+            smaller = np.int64(0)
+            for j in range(i + 1, n):
+                if perms[r, j] < pivot:
+                    smaller += 1
+            rank += smaller * fact[n - 1 - i]
+        out[r] = rank
+    return out
+
+
+@njit(cache=True)
+def implicit_neighbors_kernel(ranks, generators, fact):
+    """Neighbour ranks of a rank block with no table: unrank, apply, rank.
+
+    ``generators`` is the ``(k, n)`` int64 array of position permutations,
+    ``fact`` the factorial table ``(0!, ..., n!)``.  Per rank: decode the
+    permutation from its factorial digits (shrinking available-symbol pool),
+    then for each generator gather the moved row and re-encode its Lehmer
+    rank -- entry ``(r, g)`` equals ``move_tables_for(...)[g][ranks[r]]``
+    bit for bit, with O(n) state per rank instead of an ``(n!, k)`` table.
+    """
+    m = ranks.shape[0]
+    k, n = generators.shape
+    out = np.empty((m, k), dtype=np.int64)
+    perm = np.empty(n, dtype=np.int64)
+    moved = np.empty(n, dtype=np.int64)
+    available = np.empty(n, dtype=np.int64)
+    for r in range(m):
+        remainder = ranks[r]
+        for p in range(n):
+            available[p] = p
+        size = n
+        for i in range(n):
+            base = fact[n - 1 - i]
+            digit = remainder // base
+            remainder -= digit * base
+            perm[i] = available[digit]
+            for t in range(digit, size - 1):
+                available[t] = available[t + 1]
+            size -= 1
+        for g in range(k):
+            for p in range(n):
+                moved[p] = perm[generators[g, p]]
+            rank = np.int64(0)
+            for i in range(n - 1):
+                pivot = moved[i]
+                smaller = np.int64(0)
+                for j in range(i + 1, n):
+                    if moved[j] < pivot:
+                        smaller += 1
+                rank += smaller * fact[n - 1 - i]
+            out[r, g] = rank
+    return out

@@ -25,6 +25,17 @@ site:
     which is what keeps peak RSS bounded on degree 10-12 graphs.  Chunking is
     exact: every chunk size produces bit-identical results (only wall-clock
     and memory change).
+
+``REPRO_NEIGHBORS`` (``auto`` | ``table`` | ``implicit``, default ``auto``)
+    Where the whole-graph kernels read adjacency from.  ``table`` serves the
+    materialised/memmap move tables; ``implicit`` computes neighbour blocks
+    on the fly as ``unrank -> apply generator -> rank``
+    (:func:`repro.permutations.ranking.implicit_neighbor_block`) with no
+    table in RAM or on disk; ``auto`` uses tables through
+    :data:`repro.permutations.ranking.MAX_TABLE_DEGREE` and switches to the
+    implicit backend beyond it.  The choice never changes results -- the
+    implicit blocks are bit-identical to the table rows
+    (``tests/tables/test_implicit_neighbors.py``).
 """
 
 from __future__ import annotations
@@ -39,9 +50,12 @@ __all__ = [
     "BACKEND_ENV",
     "CHUNK_ENV",
     "TABLE_CACHE_ENV",
+    "NEIGHBORS_ENV",
     "BACKENDS",
+    "NEIGHBOR_MODES",
     "DEFAULT_CHUNK_NODES",
     "backend_name",
+    "neighbor_mode",
     "numba_available",
     "use_numba",
     "resolve_chunk_nodes",
@@ -50,7 +64,9 @@ __all__ = [
 BACKEND_ENV = "REPRO_BACKEND"
 CHUNK_ENV = "REPRO_CHUNK_NODES"
 TABLE_CACHE_ENV = "REPRO_TABLE_CACHE"
+NEIGHBORS_ENV = "REPRO_NEIGHBORS"
 BACKENDS = ("numpy", "numba")
+NEIGHBOR_MODES = ("auto", "table", "implicit")
 
 #: Default node-index block size of the streamed kernels (~8 MB of int64
 #: indices per gathered column; the full working set of one chunk stays in
@@ -70,6 +86,22 @@ def backend_name() -> str:
     if value not in BACKENDS:
         raise InvalidParameterError(
             f"{BACKEND_ENV} must be one of {BACKENDS}, got {value!r}"
+        )
+    return value
+
+
+def neighbor_mode() -> str:
+    """The requested adjacency source (``REPRO_NEIGHBORS``), validated.
+
+    Read at call time, like :func:`backend_name`, so one process can switch
+    between table-backed and implicit kernels mid-campaign.  The selection
+    itself lives in :func:`repro.topology.routing.permutation_neighbor_source`
+    (``auto`` resolves against the table-degree bound there).
+    """
+    value = os.environ.get(NEIGHBORS_ENV, "").strip().lower() or "auto"
+    if value not in NEIGHBOR_MODES:
+        raise InvalidParameterError(
+            f"{NEIGHBORS_ENV} must be one of {NEIGHBOR_MODES}, got {value!r}"
         )
     return value
 

@@ -301,17 +301,26 @@ def _mesh_to_star_edge_data(embedding: Embedding) -> Optional[_MeshToStarEdgeDat
 
     Returns None (caller falls back to the tuple walk) unless *embedding* is
     a :class:`~repro.embedding.mesh_to_star.MeshToStarEmbedding` with NumPy
-    available and the degree within the table bound (the streamed memmap tier
-    included -- the kernel chunks its gathers, see
-    :func:`_build_mesh_to_star_edge_data`).  The result is cached on the
-    embedding instance.
+    available and an adjacency source in reach: any degree at or below the
+    table bound (the streamed memmap tier included -- the kernel chunks its
+    gathers, see :func:`_build_mesh_to_star_edge_data`), or any int64-rank
+    degree when the table-free implicit source applies
+    (``REPRO_NEIGHBORS=implicit``, or ``auto`` past the table ceiling).  The
+    result is cached on the embedding instance -- safe because every source
+    yields bit-identical tallies.
     """
+    from repro.backend import neighbor_mode
     from repro.embedding.mesh_to_star import MeshToStarEmbedding
-    from repro.permutations.ranking import within_table_degree
+    from repro.permutations.ranking import (
+        within_int64_rank_degree,
+        within_table_degree,
+    )
 
     if _np is None or type(embedding) is not MeshToStarEmbedding:
         return None
-    if not within_table_degree(embedding.n):
+    if not within_table_degree(embedding.n) and (
+        neighbor_mode() == "table" or not within_int64_rank_degree(embedding.n)
+    ):
         return None
     cached = getattr(embedding, "_cached_fast_edge_data", None)
     if cached is None:
@@ -335,7 +344,9 @@ def _build_mesh_to_star_edge_data(embedding, chunk_nodes=None) -> _MeshToStarEdg
     width = n - 1
 
     ranks = _np.asarray(embedding.rank_vertex_map(), dtype=_np.int64)
-    move = star.neighbor_index_table()  # column j-1 = generator g_j
+    # Column j-1 = generator g_j, whether the source is a materialised table
+    # or the table-free implicit backend (REPRO_NEIGHBORS).
+    neighbor_source = star.neighbor_source()
 
     injective = (
         ranks.size == num_nodes
@@ -372,7 +383,10 @@ def _build_mesh_to_star_edge_data(embedding, chunk_nodes=None) -> _MeshToStarEdg
             return unrank_batch(rank_block, n).astype(_np.int64)
 
     kernel = None
-    if use_numba():
+    if use_numba() and neighbor_source.table is not None:
+        # The compiled edge kernel walks one materialised move array; the
+        # implicit source runs the vectorised block path, whose per-block
+        # rank/unrank work dispatches to numba on its own.
         from repro._numba_kernels import mesh_star_edges_kernel as kernel
 
     # Star edges are (node rank, generator) pairs, so the undirected host
@@ -396,13 +410,17 @@ def _build_mesh_to_star_edge_data(embedding, chunk_nodes=None) -> _MeshToStarEdg
             target = permutation_rows(v_ranks)
             if kernel is not None:
                 lengths, links, block_ok = kernel(
-                    source, target, _np.asarray(move), u_ranks, v_ranks
+                    source,
+                    target,
+                    _np.asarray(neighbor_source.table),
+                    u_ranks,
+                    v_ranks,
                 )
                 ones = int((lengths == 1).sum())
                 threes = int(lengths.size) - ones
             else:
                 links, ones, threes, block_ok = _mesh_star_edge_block(
-                    source, target, move, u_ranks, v_ranks, n
+                    source, target, neighbor_source, u_ranks, v_ranks, n
                 )
             one_hop_edges += ones
             three_hop_edges += threes
@@ -438,11 +456,14 @@ def _build_mesh_to_star_edge_data(embedding, chunk_nodes=None) -> _MeshToStarEdg
     )
 
 
-def _mesh_star_edge_block(source, target, move, u_ranks, v_ranks, n: int):
+def _mesh_star_edge_block(source, target, neighbor_source, u_ranks, v_ranks, n: int):
     """Vectorised Lemma-2 path tallies for one block of mesh edges.
 
-    Returns ``(link_ids, one_hop_count, three_hop_count, consistent)`` --
-    the parity oracle of the compiled
+    *neighbor_source* is any :class:`~repro.topology.routing.NeighborSource`
+    over the host star graph; the per-row generator gathers go through
+    ``neighbor_along``, so table-backed and implicit adjacency produce the
+    same tallies.  Returns ``(link_ids, one_hop_count, three_hop_count,
+    consistent)`` -- the parity oracle of the compiled
     :func:`repro._numba_kernels.mesh_star_edges_kernel`.
     """
     width = n - 1
@@ -463,7 +484,7 @@ def _mesh_star_edge_block(source, target, move, u_ranks, v_ranks, n: int):
     # Distance-1 edges: a single generator move g_j.
     r0 = u_ranks[one_hop]
     g = j[one_hop] - 1
-    hop = move[r0, g]
+    hop = neighbor_source.neighbor_along(r0, g)
     consistent = consistent and bool((hop == v_ranks[one_hop]).all())
     link_parts.append(_np.minimum(r0, hop) * width + g)
 
@@ -471,9 +492,9 @@ def _mesh_star_edge_block(source, target, move, u_ranks, v_ranks, n: int):
     r0 = u_ranks[~one_hop]
     gi = i[~one_hop] - 1
     gj = j[~one_hop] - 1
-    r1 = move[r0, gi]
-    r2 = move[r1, gj]
-    r3 = move[r2, gi]
+    r1 = neighbor_source.neighbor_along(r0, gi)
+    r2 = neighbor_source.neighbor_along(r1, gj)
+    r3 = neighbor_source.neighbor_along(r2, gi)
     consistent = consistent and bool(
         (r3 == v_ranks[~one_hop]).all()
         # Simplicity: generator moves are fixed-point free, so consecutive

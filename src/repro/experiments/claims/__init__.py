@@ -22,6 +22,10 @@ FAULT-    Monte-Carlo disconnection probability under node       ``exp_fault_con
 CONN...   faults (zero below the connectivity, Wilson CIs)
 FAULT-    Route stretch of fault-aware rerouting (detour vs      ``exp_fault_stretch``
 STRETCH   healthy shortest path, normal CIs)
+SAMPLED-  Sampled S_n distance distribution past the table       ``exp_sampled_distance``
+DISTANCE  ceiling (closed-form pairs, 95% CIs)
+SAMPLED-  Sampled family comparison at matched sizes             ``exp_sampled_properties``
+PROPS...  (avg distance CIs, diameter lower bounds)
 ========  =====================================================  =========================
 """
 
@@ -39,6 +43,8 @@ from repro.experiments.claims import (  # noqa: F401 (re-exported for the regist
     exp_network_family,
     exp_fault_connectivity,
     exp_fault_stretch,
+    exp_sampled_distance,
+    exp_sampled_properties,
 )
 
 __all__ = [
@@ -55,4 +61,6 @@ __all__ = [
     "exp_network_family",
     "exp_fault_connectivity",
     "exp_fault_stretch",
+    "exp_sampled_distance",
+    "exp_sampled_properties",
 ]

@@ -48,6 +48,8 @@ from repro.experiments.claims import (
     exp_lemma2_transposition_distance,
     exp_network_family,
     exp_optimal_dimension,
+    exp_sampled_distance,
+    exp_sampled_properties,
     exp_sorting,
     exp_star_properties,
     exp_star_vs_hypercube,
@@ -288,6 +290,20 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
                 "pairs_per_trial": 4,
             },
             heavy={"degrees": (4, 5), "trials": 60},
+        ),
+        _spec(
+            "SAMPLED-DISTANCE",
+            "Sampled S_n distance distribution past the table ceiling",
+            exp_sampled_distance,
+            fast={"degrees": (5,), "samples": 2_000},
+            heavy={"degrees": (10, 13), "samples": 1_000_000},
+        ),
+        _spec(
+            "SAMPLED-PROPERTIES",
+            "Sampled family comparison at matched sizes (with 95% CIs)",
+            exp_sampled_properties,
+            fast={"degrees": (4,), "samples": 2_000},
+            heavy={"degrees": (9, 12), "samples": 1_000_000},
         ),
     )
 }

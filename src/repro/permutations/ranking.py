@@ -25,14 +25,21 @@ This module is the substrate of the rank-indexed fast core:
   ``g_j`` exchange tuple positions 0 and ``j``), the cached special case of
   :func:`move_tables_for` shared by every
   :class:`~repro.topology.star.StarGraph` and SIMD machine of that degree;
-* :func:`unrank_batch` / :func:`permutations_slice` -- vectorised unranking
-  of whole rank arrays, the substrate of the chunked whole-graph kernels and
-  the out-of-core table builds (:mod:`repro.tables`).
+* :func:`unrank_batch` / :func:`rank_batch` / :func:`permutations_slice` --
+  vectorised unranking and ranking of whole rank/permutation arrays, the
+  substrate of the chunked whole-graph kernels and the out-of-core table
+  builds (:mod:`repro.tables`);
+* :func:`implicit_neighbor_block` -- neighbour ranks computed on the fly as
+  ``unrank -> apply generator -> rank`` with **no table at all**, the
+  substrate of the implicit adjacency backend
+  (``REPRO_NEIGHBORS=implicit``, :mod:`repro.topology.routing`).
 
 Degrees are bounded by a **two-tier** guard
 (:func:`within_table_degree`/:func:`require_table_degree`): in-RAM dense
 tables through :data:`MAX_DENSE_DEGREE`, memmap-streamed tables from the
-on-disk cache through :data:`MAX_TABLE_DEGREE`.
+on-disk cache through :data:`MAX_TABLE_DEGREE`.  The table-free batch
+helpers reach further, to the int64 rank ceiling
+(:func:`require_int64_rank_degree`, ``n <= 20``): ``21!`` overflows int64.
 """
 
 from __future__ import annotations
@@ -63,15 +70,20 @@ __all__ = [
     "all_permutations",
     "all_permutations_array",
     "ranks_of",
+    "rank_batch",
     "unrank_batch",
+    "implicit_neighbor_block",
     "permutations_slice",
     "move_tables",
     "move_tables_for",
     "star_position_generators",
     "MAX_DENSE_DEGREE",
     "MAX_TABLE_DEGREE",
+    "MAX_INT64_RANK_DEGREE",
     "within_table_degree",
     "require_table_degree",
+    "within_int64_rank_degree",
+    "require_int64_rank_degree",
 ]
 
 # Beyond this degree the dense n! tables stop fitting comfortably in RAM
@@ -88,7 +100,8 @@ MAX_TABLE_DEGREE = 12
 
 # int64 rank accumulation overflows at 21! - 1 > 2**63 - 1; beyond this the
 # vectorised path must defer to exact Python integers.
-_MAX_INT64_RANK_DEGREE = 20
+MAX_INT64_RANK_DEGREE = 20
+_MAX_INT64_RANK_DEGREE = MAX_INT64_RANK_DEGREE  # retained pre-PR-8 alias
 
 # Degree below which the naive O(n^2) Lehmer loop beats the Fenwick tree's
 # constant factor in CPython.
@@ -294,7 +307,12 @@ def require_table_degree(n: int, *, dense: bool = False) -> None:
     if n > MAX_TABLE_DEGREE:
         raise TableDegreeError(
             f"per-degree move tables are limited to n <= {MAX_TABLE_DEGREE} "
-            f"even memmap-streamed from the on-disk cache, got {n}"
+            f"even memmap-streamed from the on-disk cache, got {n}; beyond "
+            f"the table ceiling use the table-free implicit adjacency "
+            f"backend (REPRO_NEIGHBORS=implicit, selected automatically by "
+            f"Topology.neighbor_source) or the sampled estimators in "
+            f"repro.simulation.sampling (SAMPLED-DISTANCE / "
+            f"SAMPLED-PROPERTIES experiments)"
         )
     if not within_table_degree(n, dense=dense):
         raise TableDegreeError(
@@ -308,6 +326,36 @@ def require_table_degree(n: int, *, dense: bool = False) -> None:
 
 # Retained internal alias (the public pair above is the PR-4 unification).
 _check_table_degree = require_table_degree
+
+
+def within_int64_rank_degree(n: int) -> bool:
+    """True when degree-*n* ranks fit in int64 (``n! - 1 < 2**63``).
+
+    The bound of the *table-free* vectorised batch helpers
+    (:func:`rank_batch`, :func:`unrank_batch`, :func:`permutations_slice`,
+    :func:`implicit_neighbor_block`): they never materialise per-degree
+    tables, so the factorial overflow of the int64 rank arithmetic --
+    ``21! > 2**63 - 1`` -- is the only ceiling that applies.
+    """
+    return n <= MAX_INT64_RANK_DEGREE
+
+
+def require_int64_rank_degree(n: int) -> None:
+    """Raise the canonical error when int64 rank arithmetic would overflow.
+
+    The same :class:`~repro.exceptions.TableDegreeError` as
+    :func:`require_table_degree` (callers catch factorial-overflow bounds
+    uniformly); the message names the ceiling and the exact-Python remedy.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"degree must be >= 1, got {n}")
+    if n > MAX_INT64_RANK_DEGREE:
+        raise TableDegreeError(
+            f"vectorised rank arithmetic accumulates int64 ranks, limited to "
+            f"n <= {MAX_INT64_RANK_DEGREE} ({MAX_INT64_RANK_DEGREE + 1}! "
+            f"overflows int64), got {n}; use the exact-Python scalar helpers "
+            f"(permutation_rank / permutation_unrank / ranks_of) beyond it"
+        )
 
 
 @lru_cache(maxsize=None)
@@ -340,30 +388,76 @@ def all_permutations_array(n: int):
     return out
 
 
+def _rank_rows_numpy(array):
+    """The vectorised Lehmer encode of a validated-shape ``(m, n)`` array.
+
+    One comparison-sum per Lehmer digit position, accumulated against the
+    factorial base -- the NumPy parity oracle of the compiled
+    :func:`repro._numba_kernels.rank_batch_kernel` (identical integers, the
+    kernel is the same arithmetic as a scalar loop).
+    """
+    m, n = array.shape
+    fact = factorials(n)
+    ranks = _np.zeros(m, dtype=_np.int64)
+    for i in range(n - 1):
+        smaller = (array[:, i + 1 :] < array[:, i : i + 1]).sum(
+            axis=1, dtype=_np.int64
+        )
+        ranks += smaller * fact[n - 1 - i]
+    return ranks
+
+
 def ranks_of(rows) -> "list":
     """Vectorised lexicographic ranks of an ``(m, n)`` batch of permutations.
 
     Accepts a NumPy array or a sequence of permutation tuples; every row must
     be a valid permutation (not re-validated -- this is a fast-core helper).
     Returns a NumPy ``int64`` array when NumPy is available, else a list.
+    Beyond the int64 ceiling (``n > 20``) the NumPy branch silently defers to
+    exact Python integers and returns a list; :func:`rank_batch` is the
+    strict array-in/array-out counterpart that raises instead.
     """
     if _np is not None:
         array = _np.asarray(rows)
         if array.ndim != 2:
             raise InvalidParameterError("ranks_of expects a 2-D batch of permutations")
-        m, n = array.shape
-        if n > _MAX_INT64_RANK_DEGREE:
+        if array.shape[1] > MAX_INT64_RANK_DEGREE:
             # n! no longer fits in int64; compute exactly in Python instead.
             return [_rank_unchecked(tuple(map(int, row))) for row in array]
-        fact = factorials(n)
-        ranks = _np.zeros(m, dtype=_np.int64)
-        for i in range(n - 1):
-            smaller = (array[:, i + 1 :] < array[:, i : i + 1]).sum(
-                axis=1, dtype=_np.int64
-            )
-            ranks += smaller * fact[n - 1 - i]
-        return ranks
+        return rank_batch(array)
     return [_rank_unchecked(tuple(row)) for row in rows]
+
+
+def rank_batch(perms):
+    """Vectorised :func:`permutation_rank` over a whole permutation batch.
+
+    The strict counterpart of :func:`unrank_batch`: *perms* is an ``(m, n)``
+    batch of valid permutation rows (NumPy array or any nested sequence,
+    normalised with one ``np.asarray`` pass; rows are not re-validated --
+    fast-core helper) and the result is the ``(m,)`` ``int64`` rank array
+    with ``rank_batch(unrank_batch(r, n)) == r``.  Degrees beyond the int64
+    rank ceiling raise the canonical
+    :class:`~repro.exceptions.TableDegreeError`
+    (:func:`require_int64_rank_degree`) instead of silently changing
+    representation.  Dispatches to the compiled per-row Lehmer encode under
+    ``REPRO_BACKEND=numba``; the NumPy comparison-sum path is the
+    bit-identical parity oracle.  Falls back to a per-row
+    :func:`permutation_rank` list without NumPy.
+    """
+    if _np is None:
+        return [_rank_unchecked(tuple(row)) for row in perms]
+    array = _np.asarray(perms)
+    if array.ndim != 2:
+        raise InvalidParameterError("rank_batch expects a 2-D batch of permutations")
+    require_int64_rank_degree(array.shape[1])
+    from repro.backend import use_numba
+
+    if use_numba() and array.size:
+        from repro._numba_kernels import rank_batch_kernel
+
+        fact = _np.asarray(factorials(array.shape[1]), dtype=_np.int64)
+        return rank_batch_kernel(_np.ascontiguousarray(array, dtype=_np.int64), fact)
+    return _rank_rows_numpy(array)
 
 
 def unrank_batch(ranks, n: int):
@@ -378,18 +472,19 @@ def unrank_batch(ranks, n: int):
     The per-step state is ``O(m * n)``: Lehmer digits come from repeated
     ``divmod`` by factorials and the available-symbol pools shrink by an
     index-shift gather per step, so a block of a million degree-12 ranks
-    costs tens of megabytes, never ``n!``.  Falls back to a per-rank
+    costs tens of megabytes, never ``n!``.  Any iterable of ranks (list,
+    generator, array) is normalised with one ``np.asarray`` pass up front,
+    so there is exactly one vectorised path; degrees whose factorial
+    overflows int64 (``n > 20``) raise the canonical
+    :class:`~repro.exceptions.TableDegreeError`
+    (:func:`require_int64_rank_degree`).  Falls back to a per-rank
     :func:`permutation_unrank` list (of tuples) without NumPy.
     """
-    if n < 1:
-        raise InvalidParameterError(f"degree must be >= 1, got {n}")
+    require_int64_rank_degree(n)
     if _np is None:
         return [permutation_unrank(int(rank), n) for rank in ranks]
-    if n > _MAX_INT64_RANK_DEGREE:
-        raise InvalidParameterError(
-            f"unrank_batch accumulates int64 ranks, limited to n <= "
-            f"{_MAX_INT64_RANK_DEGREE}, got {n}"
-        )
+    if not isinstance(ranks, _np.ndarray) and not hasattr(ranks, "__len__"):
+        ranks = list(ranks)  # materialise one-shot iterables for asarray
     ranks = _np.asarray(ranks, dtype=_np.int64)
     if ranks.ndim != 1:
         raise InvalidParameterError("unrank_batch expects a 1-D rank array")
@@ -415,15 +510,88 @@ def unrank_batch(ranks, n: int):
     return out
 
 
+def implicit_neighbor_block(
+    ranks, generators: Tuple[Tuple[int, ...], ...], n: int, *, chunk_nodes=None
+):
+    """Neighbour ranks of a rank block, computed with **no move table**.
+
+    Entry ``(r, g)`` of the returned ``(m, len(generators))`` ``int64``
+    array is the rank of ``tuple(pi[generators[g][p]] for p in range(n))``
+    where ``pi`` is the permutation of rank ``ranks[r]`` -- i.e. exactly the
+    rows ``move_tables_for(generators, n)[g][ranks]`` would hold, but
+    evaluated on the fly as ``unrank -> apply generator -> rank``
+    (:func:`unrank_batch` / :func:`rank_batch`).  This is the substrate of
+    the implicit adjacency backend (``REPRO_NEIGHBORS=implicit``): the
+    whole-graph kernels stay exact past the memmap table ceiling, bounded
+    only by the int64 rank degree (``n <= 20``).
+
+    The block is processed in ``chunk_nodes`` sub-chunks (default
+    ``REPRO_CHUNK_NODES``) so the transient ``O(chunk * n)`` unranking state
+    stays bounded; chunk size never changes the results.  Under
+    ``REPRO_BACKEND=numba`` each sub-chunk runs one fused compiled
+    unrank/apply/rank loop; the NumPy path is the bit-identical parity
+    oracle.  *generators* are validated exactly like the table builders'
+    (:func:`move_tables_for`), so implicit blocks and tables can never
+    disagree about a legal generator set.  Falls back to per-rank tuple
+    application (a list of lists) without NumPy.
+    """
+    require_int64_rank_degree(n)
+    generators = tuple(tuple(generator) for generator in generators)
+    _check_generators(generators, n)
+    if _np is None:
+        rows = []
+        for rank in ranks:
+            perm = permutation_unrank(int(rank), n)
+            rows.append(
+                [_rank_unchecked([perm[p] for p in g]) for g in generators]
+            )
+        return rows
+
+    from repro.backend import resolve_chunk_nodes, use_numba
+
+    if not isinstance(ranks, _np.ndarray) and not hasattr(ranks, "__len__"):
+        ranks = list(ranks)
+    ranks = _np.asarray(ranks, dtype=_np.int64)
+    if ranks.ndim != 1:
+        raise InvalidParameterError(
+            "implicit_neighbor_block expects a 1-D rank array"
+        )
+    total = factorials(n)[n]
+    if ranks.size and not (int(ranks.min()) >= 0 and int(ranks.max()) < total):
+        raise InvalidParameterError(f"ranks must be in [0, {total})")
+    m = ranks.shape[0]
+    out = _np.empty((m, len(generators)), dtype=_np.int64)
+    chunk = resolve_chunk_nodes(chunk_nodes)
+    kernel = None
+    if use_numba():
+        from repro._numba_kernels import implicit_neighbors_kernel as kernel
+
+        generator_array = _np.asarray(generators, dtype=_np.int64)
+        fact = _np.asarray(factorials(n), dtype=_np.int64)
+    columns = [list(generator) for generator in generators]
+    for start in range(0, m, chunk):
+        stop = min(start + chunk, m)
+        if kernel is not None:
+            out[start:stop] = kernel(ranks[start:stop], generator_array, fact)
+        else:
+            perms = unrank_batch(ranks[start:stop], n)
+            for g, column in enumerate(columns):
+                out[start:stop, g] = _rank_rows_numpy(perms[:, column])
+    return out
+
+
 def permutations_slice(start: int, stop: int, n: int):
     """Rows ``start .. stop-1`` of :func:`all_permutations_array`, streamed.
 
     The contiguous special case of :func:`unrank_batch`, used by the chunked
     whole-graph sweeps and the on-disk table builds (:mod:`repro.tables`) to
-    walk all ``n!`` permutations one block at a time.  Valid through the
-    memmap ceiling (:data:`MAX_TABLE_DEGREE`).
+    walk all ``n!`` permutations one block at a time.  Table-free, so it is
+    *not* bounded by the table tiers: any degree whose ranks fit in int64
+    works (``n <= 20``, :func:`require_int64_rank_degree` -- ``21!``
+    overflows int64 and raises the canonical
+    :class:`~repro.exceptions.TableDegreeError`).
     """
-    require_table_degree(n)
+    require_int64_rank_degree(n)
     total = factorials(n)[n]
     if not (0 <= start <= stop <= total):
         raise InvalidParameterError(

@@ -15,10 +15,14 @@ Layout:
   detour paths on the surviving subgraph;
 * :mod:`repro.simulation.campaign` -- the campaigns themselves, plus the
   matched-size family instances (star / pancake / bubble-sort at ``n!``
-  nodes, hypercube at ``ceil(log2 n!)`` dimensions).
+  nodes, hypercube at ``ceil(log2 n!)`` dimensions);
+* :mod:`repro.simulation.sampling` -- seeded sampled distance statistics
+  (mean with 95% CI, histogram with Wilson buckets, diameter lower bound)
+  from closed-form distances on random node pairs, the S_13+ path past the
+  table ceiling.
 
-The FAULT-CONNECTIVITY and FAULT-STRETCH registry experiments are thin
-tables over these functions; everything here is importable and testable
+The FAULT-CONNECTIVITY, FAULT-STRETCH and SAMPLED-* registry experiments are
+thin tables over these functions; everything here is importable and testable
 without the experiment stack.
 """
 
@@ -34,10 +38,20 @@ from repro.simulation.campaign import (
     stretch_campaign,
 )
 from repro.simulation.rerouting import masked_bfs_distances, masked_route
+from repro.simulation.sampling import (
+    SAMPLING_FAMILIES,
+    SampledDistanceEstimate,
+    exact_average_distance,
+    family_diameter_formula,
+    family_num_nodes,
+    sampled_distance_estimate,
+    sampled_pair_distances,
+)
 from repro.simulation.stats import (
     Z_95,
     derive_trial_seed,
     mean_interval,
+    moments_interval,
     wilson_interval,
 )
 
@@ -53,8 +67,16 @@ __all__ = [
     "stretch_campaign",
     "masked_bfs_distances",
     "masked_route",
+    "SAMPLING_FAMILIES",
+    "SampledDistanceEstimate",
+    "exact_average_distance",
+    "family_diameter_formula",
+    "family_num_nodes",
+    "sampled_distance_estimate",
+    "sampled_pair_distances",
     "Z_95",
     "derive_trial_seed",
     "mean_interval",
+    "moments_interval",
     "wilson_interval",
 ]

@@ -3,7 +3,8 @@
 When nodes fail, the closed-form routes of the healthy topology (e.g. the
 star graph's cycle-structure paths) stop being available; survivors reroute
 by searching the *surviving* subgraph.  This module runs that search as
-frontier sweeps over ``topology.neighbor_index_table()`` restricted to an
+frontier sweeps over ``topology.neighbor_source()`` (a materialised table or
+the table-free implicit source, per ``REPRO_NEIGHBORS``) restricted to an
 alive mask -- the same index-native pattern as
 :func:`repro.topology.routing.bfs_distances_from` and
 :func:`repro.topology.routing.connected_under_alive_mask`, so no tuple sets
@@ -70,9 +71,10 @@ def masked_bfs_distances(topology: "Topology", origin_index: int, alive, *, chun
 
     The NumPy path is the shared chunked frontier sweep
     :func:`repro.topology.routing.index_bfs_distances` (memmap-friendly,
-    ``REPRO_BACKEND=numba``-dispatched) restricted to the alive mask.
+    ``REPRO_BACKEND=numba``-dispatched) restricted to the alive mask, fed by
+    ``topology.neighbor_source()`` -- a materialised table or the table-free
+    implicit source, per ``REPRO_NEIGHBORS``.
     """
-    table = topology.neighbor_index_table()
     num_nodes = topology.num_nodes
     if _np is not None:
         from repro.topology.routing import index_bfs_distances
@@ -80,13 +82,14 @@ def masked_bfs_distances(topology: "Topology", origin_index: int, alive, *, chun
         alive_mask = _np.asarray(alive, dtype=bool)
         _check_alive_origin(alive_mask, origin_index, num_nodes)
         return index_bfs_distances(
-            table,
+            topology.neighbor_source(),
             num_nodes,
             origin_index,
             alive_mask=alive_mask,
             chunk_nodes=chunk_nodes,
         )
 
+    table = topology.neighbor_index_table()
     alive_list = [bool(flag) for flag in alive]
     _check_alive_origin(alive_list, origin_index, num_nodes)
     distances = [-1] * num_nodes

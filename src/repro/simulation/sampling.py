@@ -1,0 +1,312 @@
+"""Sampled whole-graph distance statistics past the table ceiling.
+
+Whole-graph sweeps end where ``n!`` does: a degree-13 star graph has 6.2
+billion nodes, so even the table-free implicit kernels cannot enumerate it in
+reasonable time.  This module estimates the same S_13-S_14 statistics --
+distance distribution, average distance, diameter lower bound -- from seeded
+random node pairs evaluated through the *closed-form* distances (no
+adjacency anywhere): cycle structure for the star graph, Kendall-tau
+inversions for bubble-sort, Hamming weight for the hypercube.  The pancake
+graph has no closed-form distance and is deliberately absent.
+
+Estimates ship with honest uncertainty, following the CI-for-ranks
+methodology of the csranks line of work: the mean carries a 95%
+normal-approximation interval from exact integer moments
+(:func:`repro.simulation.stats.moments_interval`) and every histogram bucket
+a Wilson score interval (:func:`repro.simulation.stats.wilson_interval`).
+The diameter estimate is reported as what it is -- a *lower* bound (the
+maximum observed distance), never a diameter claim.
+
+Determinism contract (same as the fault campaigns): all pairs are drawn up
+front from one :func:`numpy.random.default_rng` stream seeded by
+:func:`repro.simulation.stats.derive_trial_seed` of ``(seed, family, size,
+samples)``, and only the distance evaluation is chunked -- so every
+``chunk_nodes`` produces bit-identical estimates and reruns are pure
+functions of their parameters.  Distance sums and sums of squares accumulate
+as exact int64 integers, so the intervals are reproducible to the last ulp.
+
+Small-``n`` anchors for the parity tests: :func:`exact_average_distance`
+returns the exact mean pairwise distance from one closed-form sweep (star,
+vertex-transitive) or a closed formula (bubble-sort ``n(n-1)/4 *
+n!/(n!-1)``, hypercube ``m * 2^(m-1) / (2^m - 1)``), which the sampled CIs
+must bracket.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.stats import (
+    Z_95,
+    derive_trial_seed,
+    moments_interval,
+    wilson_interval,
+)
+from repro.utils.validation import check_positive_int
+
+try:  # pragma: no cover - exercised indirectly on both branches
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes NumPy in
+    _np = None
+
+__all__ = [
+    "SAMPLING_FAMILIES",
+    "SampledDistanceEstimate",
+    "sampled_pair_distances",
+    "sampled_distance_estimate",
+    "exact_average_distance",
+    "family_num_nodes",
+    "family_diameter_formula",
+]
+
+#: Families with a closed-form pairwise distance, i.e. the ones the sampled
+#: estimators can evaluate without any adjacency structure.  The pancake
+#: graph is absent on purpose: prefix-reversal distance has no known closed
+#: form (that is the "pancake number" problem).
+SAMPLING_FAMILIES: Tuple[str, ...] = ("star", "bubble-sort", "hypercube")
+
+
+def _check_family(family: str) -> None:
+    if family not in SAMPLING_FAMILIES:
+        raise InvalidParameterError(
+            f"family must be one of {SAMPLING_FAMILIES}, got {family!r}"
+            " (pancake distances have no closed form and cannot be sampled)"
+        )
+
+
+def family_num_nodes(family: str, size: int) -> int:
+    """Node count of one sampling family instance.
+
+    *size* is the permutation degree ``n`` for ``star`` / ``bubble-sort``
+    (``n!`` nodes, ``n >= 2``) and the dimension ``m`` for ``hypercube``
+    (``2^m`` nodes, ``m >= 1``).  Permutation families are bounded by the
+    int64 rank degree (``n <= 20``), hypercubes by int64 node ids
+    (``m <= 62``).
+    """
+    _check_family(family)
+    if family == "hypercube":
+        check_positive_int(size, "size", minimum=1)
+        if size > 62:
+            raise InvalidParameterError(
+                f"hypercube sampling is limited to dimension <= 62 "
+                f"(node ids must fit in int64), got {size}"
+            )
+        return 1 << size
+    check_positive_int(size, "size", minimum=2)
+    from repro.permutations.ranking import factorials, require_int64_rank_degree
+
+    require_int64_rank_degree(size)
+    return factorials(size)[size]
+
+
+def family_diameter_formula(family: str, size: int) -> int:
+    """The closed-form diameter the sampled lower bound is held against."""
+    _check_family(family)
+    if family == "star":
+        return (3 * (size - 1)) // 2
+    if family == "bubble-sort":
+        return size * (size - 1) // 2
+    return size
+
+
+def _kendall_tau_rows(source_rows, target_rows):
+    """Row-wise Kendall-tau (inversion) distances of two permutation batches.
+
+    Relabels each source row by the symbol positions of its target row, then
+    counts inversions with the same comparison-sum pattern as the vectorised
+    Lehmer encode -- the batched twin of
+    :func:`repro.topology.cayley.bubble_sort_distance`.
+    """
+    positions = _np.argsort(target_rows, axis=1)
+    mapping = _np.take_along_axis(positions, source_rows, axis=1)
+    n = mapping.shape[1]
+    inversions = _np.zeros(mapping.shape[0], dtype=_np.int64)
+    for i in range(n - 1):
+        inversions += (mapping[:, i + 1 :] < mapping[:, i : i + 1]).sum(
+            axis=1, dtype=_np.int64
+        )
+    return inversions
+
+
+def _hamming_rows(sources, targets, size: int):
+    """Row-wise Hamming distances between int64 hypercube node ids."""
+    diff = sources ^ targets
+    out = _np.zeros(diff.shape[0], dtype=_np.int64)
+    for shift in range(size):
+        out += (diff >> shift) & 1
+    return out
+
+
+def _pair_block_distances(family: str, size: int, sources, targets):
+    """Closed-form distances of one block of (source, target) rank pairs."""
+    if family == "hypercube":
+        return _hamming_rows(sources, targets, size)
+    from repro.permutations.ranking import unrank_batch
+
+    source_rows = unrank_batch(sources, size)
+    target_rows = unrank_batch(targets, size)
+    if family == "star":
+        from repro.topology.routing import star_distances_between
+
+        return star_distances_between(source_rows, target_rows)
+    return _kendall_tau_rows(source_rows, target_rows)
+
+
+def sampled_pair_distances(
+    family: str, size: int, samples: int, seed: int, *, chunk_nodes=None
+):
+    """Closed-form distances of *samples* seeded random distinct node pairs.
+
+    All pairs are drawn up front from one seeded stream (targets use the
+    shift trick -- draw in ``[0, num_nodes - 1)`` and step over the source --
+    so pairs are uniform over *ordered distinct* pairs); only the distance
+    evaluation is chunked, so ``chunk_nodes`` (default ``REPRO_CHUNK_NODES``)
+    never changes the returned array.  Requires NumPy.
+
+    Returns the int64 distance array of length *samples*.
+    """
+    _check_family(family)
+    check_positive_int(samples, "samples", minimum=1)
+    if _np is None:  # pragma: no cover - the image bakes NumPy in
+        raise InvalidParameterError(
+            "sampled distance estimation requires NumPy"
+        )
+    num_nodes = family_num_nodes(family, size)
+    if num_nodes < 2:
+        raise InvalidParameterError(
+            f"{family} instance of size {size} has no distinct node pairs"
+        )
+    rng = _np.random.default_rng(
+        derive_trial_seed(seed, "sampled-distance", family, size, samples)
+    )
+    sources = rng.integers(0, num_nodes, size=samples, dtype=_np.int64)
+    targets = rng.integers(0, num_nodes - 1, size=samples, dtype=_np.int64)
+    targets += targets >= sources  # uniform over targets != source
+
+    from repro.backend import resolve_chunk_nodes
+
+    chunk = resolve_chunk_nodes(chunk_nodes)
+    distances = _np.empty(samples, dtype=_np.int64)
+    for start in range(0, samples, chunk):
+        stop = min(start + chunk, samples)
+        distances[start:stop] = _pair_block_distances(
+            family, size, sources[start:stop], targets[start:stop]
+        )
+    return distances
+
+
+@dataclass(frozen=True)
+class SampledDistanceEstimate:
+    """Sampled whole-graph distance statistics of one family instance.
+
+    ``mean`` / ``mean_low`` / ``mean_high`` is the 95% normal-approximation
+    interval over the sampled pairwise distances (exact integer moments);
+    ``diameter_lower_bound`` is the maximum observed distance -- a lower
+    bound, not a diameter estimate; ``histogram`` maps each observed distance
+    to its count and ``histogram_intervals`` to its Wilson 95% proportion
+    interval ``(p_hat, low, high)``.
+    """
+
+    family: str
+    size: int
+    num_nodes: int
+    samples: int
+    seed: int
+    mean: float
+    mean_low: float
+    mean_high: float
+    diameter_lower_bound: int
+    diameter_formula: int
+    histogram: Dict[int, int] = field(hash=False)
+    histogram_intervals: Dict[int, Tuple[float, float, float]] = field(hash=False)
+
+    @property
+    def diameter_consistent(self) -> bool:
+        """True when the observed lower bound respects the closed form."""
+        return self.diameter_lower_bound <= self.diameter_formula
+
+    def brackets(self, exact_mean: float) -> bool:
+        """True when the mean interval covers *exact_mean*."""
+        return self.mean_low <= exact_mean <= self.mean_high
+
+
+def sampled_distance_estimate(
+    family: str,
+    size: int,
+    samples: int,
+    seed: int,
+    *,
+    chunk_nodes=None,
+    z: float = Z_95,
+) -> SampledDistanceEstimate:
+    """Estimate distance statistics of one family instance from seeded pairs.
+
+    One call to :func:`sampled_pair_distances` folded into a
+    :class:`SampledDistanceEstimate`: the mean interval comes from exact
+    int64 moments (:func:`~repro.simulation.stats.moments_interval`), each
+    histogram bucket from a Wilson interval, and the diameter lower bound is
+    the sample maximum.  Deterministic in ``(family, size, samples, seed)``
+    and invariant under ``chunk_nodes``.
+    """
+    distances = sampled_pair_distances(
+        family, size, samples, seed, chunk_nodes=chunk_nodes
+    )
+    total = int(distances.sum())
+    total_squares = int((distances * distances).sum())
+    mean, low, high = moments_interval(total, total_squares, samples, z)
+    counts = _np.bincount(distances)
+    histogram = {
+        int(d): int(count) for d, count in enumerate(counts) if count
+    }
+    intervals = {
+        d: wilson_interval(count, samples, z) for d, count in histogram.items()
+    }
+    return SampledDistanceEstimate(
+        family=family,
+        size=size,
+        num_nodes=family_num_nodes(family, size),
+        samples=samples,
+        seed=seed,
+        mean=mean,
+        mean_low=low,
+        mean_high=high,
+        diameter_lower_bound=int(distances.max()),
+        diameter_formula=family_diameter_formula(family, size),
+        histogram=histogram,
+        histogram_intervals=intervals,
+    )
+
+
+def exact_average_distance(family: str, size: int) -> float:
+    """Exact mean pairwise distance over ordered distinct node pairs.
+
+    The anchor the sampled intervals are tested against:
+
+    * ``bubble-sort`` -- expected inversions of a uniform relative
+      permutation is ``n (n - 1) / 4``; conditioning away the ``n!``
+      self-pairs scales by ``n! / (n! - 1)``;
+    * ``hypercube`` -- expected Hamming distance is ``m / 2``; excluding
+      self-pairs gives ``m * 2^(m-1) / (2^m - 1)``;
+    * ``star`` -- no simple closed form, but the graph is vertex-transitive,
+      so one full closed-form sweep from the identity
+      (:func:`repro.topology.routing.star_distances_from`) is the exact
+      whole-graph mean.  Feasible through the sweepable degrees only (S_10
+      in seconds); that is precisely why the sampled estimator exists.
+    """
+    _check_family(family)
+    num_nodes = family_num_nodes(family, size)
+    if family == "bubble-sort":
+        return (size * (size - 1) / 4.0) * num_nodes / (num_nodes - 1)
+    if family == "hypercube":
+        return size * (1 << (size - 1)) / (num_nodes - 1)
+    from repro.topology.routing import star_distances_from
+
+    distances = star_distances_from(tuple(range(size)))
+    if _np is not None:
+        total = int(_np.asarray(distances).sum())
+    else:  # pragma: no cover - the image bakes NumPy in
+        total = sum(distances)
+    return total / (num_nodes - 1)

@@ -28,6 +28,7 @@ __all__ = [
     "derive_trial_seed",
     "wilson_interval",
     "mean_interval",
+    "moments_interval",
 ]
 
 #: Two-sided 95% normal critical value used by every campaign interval.
@@ -106,4 +107,37 @@ def mean_interval(
         return mean, mean, mean
     variance = sum((v - mean) ** 2 for v in values) / (n - 1)
     margin = z * math.sqrt(variance / n)
+    return mean, mean - margin, mean + margin
+
+
+def moments_interval(
+    total: int, total_squares: int, count: int, z: float = Z_95
+) -> Tuple[float, float, float]:
+    """:func:`mean_interval` from exact integer moments instead of samples.
+
+    The sampled whole-graph estimators (:mod:`repro.simulation.sampling`)
+    accumulate ``sum(x)`` and ``sum(x^2)`` as Python/NumPy int64 running
+    totals over millions of integer distance samples -- exact, chunk-order
+    independent, and never materialising the sample array.  This helper turns
+    those moments into the same normal-approximation interval
+    ``mean +/- z * sqrt(s^2 / n)`` with the ``n - 1`` sample variance, so
+    ``moments_interval(sum(xs), sum(x*x for x in xs), len(xs))`` agrees with
+    ``mean_interval(xs)`` (the cross-check lives in the sampling tests).
+
+    Returns ``(mean, low, high)``; one sample degenerates to the point
+    estimate, zero samples raise
+    :class:`~repro.exceptions.InvalidParameterError`.
+    """
+    if count <= 0:
+        raise InvalidParameterError("moments_interval needs at least one sample")
+    total = int(total)
+    total_squares = int(total_squares)
+    count = int(count)
+    mean = total / count
+    if count == 1:
+        return mean, mean, mean
+    # n * sum(x^2) - sum(x)^2 is an exact integer (no catastrophic
+    # cancellation); divide once at the end.
+    variance = (count * total_squares - total * total) / (count * (count - 1))
+    margin = z * math.sqrt(max(0.0, variance) / count)
     return mean, mean - margin, mean + margin

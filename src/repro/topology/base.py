@@ -194,6 +194,20 @@ class Topology(ABC):
             setattr(self, "_cached_neighbor_index_table", cached)
         return cached
 
+    def neighbor_source(self):
+        """The adjacency source the whole-graph kernels should sweep over.
+
+        The base implementation wraps the cached :meth:`neighbor_index_table`
+        in a :class:`~repro.topology.routing.TableNeighborSource`; the
+        permutation Cayley families override it to honour ``REPRO_NEIGHBORS``
+        and serve the table-free implicit source past the table ceiling.  Not
+        cached on the instance -- the mode knob is read at call time, so one
+        process can switch sources mid-campaign.
+        """
+        from repro.topology.routing import TableNeighborSource
+
+        return TableNeighborSource(self.neighbor_index_table(), self.num_nodes)
+
     def _build_neighbor_index_table(self):
         index_of = {node: i for i, node in enumerate(self.nodes())}
         rows: List[List[int]] = [

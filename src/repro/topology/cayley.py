@@ -371,6 +371,20 @@ class CayleyGraph(Topology):
         """
         return move_tables_for(self._generators, self._n)
 
+    def neighbor_source(self):
+        """Adjacency source honouring ``REPRO_NEIGHBORS``.
+
+        ``auto`` serves the cached/memmap table through the table-tier
+        degrees and the table-free implicit source (``unrank -> generator ->
+        rank``) beyond them; see
+        :func:`repro.topology.routing.permutation_neighbor_source`.
+        """
+        from repro.topology.routing import permutation_neighbor_source
+
+        return permutation_neighbor_source(
+            self._generators, self._n, self.neighbor_index_table
+        )
+
     def neighbor_ranks(self, index: int, generator: int) -> int:
         """Rank of the neighbour of node *index* along one generator.
 

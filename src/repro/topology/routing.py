@@ -40,6 +40,23 @@ peak RSS stays bounded through the memmap-tier degrees (11-12, see
 :mod:`repro.tables`), and dispatch to compiled loops under
 ``REPRO_BACKEND=numba`` -- both exactly, with the unchunked NumPy path as the
 parity oracle (``tests/tables/``).
+
+The neighbour-source seam
+-------------------------
+Since PR 8 the whole-graph kernels no longer insist on a materialised
+adjacency table: they consume a :class:`NeighborSource`, which serves
+neighbour-index blocks either from a dense/memmap table
+(:class:`TableNeighborSource`) or computed on the fly as
+``unrank -> apply generator -> rank`` with no table anywhere
+(:class:`ImplicitNeighborSource`, backed by
+:func:`repro.permutations.ranking.implicit_neighbor_block`).  For the
+permutation Cayley families :func:`permutation_neighbor_source` picks the
+source from ``REPRO_NEIGHBORS`` (``auto`` serves tables through
+``MAX_TABLE_DEGREE`` and goes implicit beyond it), and
+``Topology.neighbor_source()`` hands the right one to every sweep.  The seam
+is exact: implicit blocks are bit-identical to the table rows, so BFS,
+connectivity floods and embedding tallies return the same arrays from either
+source at every chunk size (``tests/tables/test_implicit_neighbors.py``).
 """
 
 from __future__ import annotations
@@ -66,6 +83,11 @@ __all__ = [
     "mesh_route",
     "hypercube_distance",
     "hypercube_route",
+    "NeighborSource",
+    "TableNeighborSource",
+    "ImplicitNeighborSource",
+    "as_neighbor_source",
+    "permutation_neighbor_source",
     "index_bfs_distances",
     "bfs_distances_from",
     "distance_matrix",
@@ -176,10 +198,10 @@ def star_distances_from(origin: Sequence[int], *, chunk_nodes=None):
         all_permutations_array,
         factorials,
         permutations_slice,
-        within_table_degree,
+        within_int64_rank_degree,
     )
 
-    if _np is not None and within_table_degree(n):
+    if _np is not None and within_int64_rank_degree(n):
         from repro.backend import resolve_chunk_nodes, use_numba
 
         kernel = None
@@ -410,6 +432,175 @@ def hypercube_route(source: Sequence[int], target: Sequence[int]) -> List[Node]:
     return path
 
 
+# ------------------------------------------------------- neighbour sources
+class NeighborSource:
+    """Where a whole-graph kernel reads adjacency from (the PR-8 seam).
+
+    A source answers block queries over node indices instead of exposing one
+    giant array, so the same frontier sweeps serve dense tables, memmap
+    tables and table-free implicit adjacency unchanged:
+
+    * ``num_nodes`` / ``width`` -- graph size and max degree;
+    * ``neighbor_block(indices)`` -- the ``(m, width)`` neighbour-index rows
+      of *indices* (``-1``-padded for irregular graphs);
+    * ``neighbor_along(indices, generators)`` -- one neighbour per row, along
+      a scalar generator index or a per-row generator-index array (the shape
+      the batched embedding tally gathers);
+    * ``table`` -- the materialised ``(num_nodes, width)`` array when one
+      exists, else ``None`` (kernels use it to decide whether a whole-graph
+      compiled sweep may run over a single array).
+
+    Sources are exact and interchangeable: for the same graph every source
+    returns identical blocks, which the parity suite enforces.
+    """
+
+    table = None
+
+    def neighbor_block(self, indices):
+        raise NotImplementedError
+
+    def neighbor_along(self, indices, generators):
+        raise NotImplementedError
+
+
+class TableNeighborSource(NeighborSource):
+    """Adjacency served from a materialised (dense or memmap) index table."""
+
+    def __init__(self, table, num_nodes=None):
+        self._table = table
+        if num_nodes is None:
+            num_nodes = len(table)
+        self._num_nodes = int(num_nodes)
+
+    @property
+    def table(self):
+        """The backing ``(num_nodes, width)`` array (never ``None`` here)."""
+        return self._table
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def width(self) -> int:
+        shape = getattr(self._table, "shape", None)
+        if shape is not None:
+            return int(shape[1])
+        return len(self._table[0])
+
+    def neighbor_block(self, indices):
+        """Rows ``table[indices]`` -- a fancy-index gather (memmap pages in)."""
+        return self._table[_np.asarray(indices, dtype=_np.int64)]
+
+    def neighbor_along(self, indices, generators):
+        """``table[indices, generators]`` with scalar or per-row generators."""
+        return self._table[
+            _np.asarray(indices, dtype=_np.int64), generators
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TableNeighborSource(num_nodes={self._num_nodes}, width={self.width})"
+
+
+class ImplicitNeighborSource(NeighborSource):
+    """Table-free adjacency for a permutation Cayley graph.
+
+    Blocks are computed on demand as ``unrank -> apply generator -> rank``
+    (:func:`repro.permutations.ranking.implicit_neighbor_block`); nothing is
+    materialised in RAM or on disk, so the source works at any degree whose
+    ranks fit in int64 (``n <= 20``) -- past the memmap-table ceiling.
+    ``table`` is ``None``: kernels that want one compiled whole-graph sweep
+    fall back to the chunked frontier, whose per-block work still dispatches
+    to numba under ``REPRO_BACKEND=numba``.
+    """
+
+    def __init__(self, generators, n: int):
+        from repro.permutations.ranking import (
+            _check_generators,
+            factorials,
+            require_int64_rank_degree,
+        )
+
+        self._generators = tuple(tuple(g) for g in generators)
+        self._n = int(n)
+        require_int64_rank_degree(self._n)
+        _check_generators(self._generators, self._n)
+        self._num_nodes = factorials(self._n)[self._n]
+
+    @property
+    def generators(self):
+        """The generator set, in the same order as the table columns."""
+        return self._generators
+
+    @property
+    def n(self) -> int:
+        """The permutation degree (number of symbols)."""
+        return self._n
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def width(self) -> int:
+        return len(self._generators)
+
+    def neighbor_block(self, indices):
+        """The ``(m, width)`` neighbour ranks of *indices*, computed on the fly."""
+        from repro.permutations.ranking import implicit_neighbor_block
+
+        return implicit_neighbor_block(indices, self._generators, self._n)
+
+    def neighbor_along(self, indices, generators):
+        """One neighbour per row along scalar or per-row generator indices."""
+        from repro.permutations.ranking import implicit_neighbor_block
+
+        indices = _np.asarray(indices, dtype=_np.int64)
+        if _np.ndim(generators) == 0:
+            column = self._generators[int(generators)]
+            return implicit_neighbor_block(indices, (column,), self._n)[:, 0]
+        block = implicit_neighbor_block(indices, self._generators, self._n)
+        return block[
+            _np.arange(indices.shape[0]), _np.asarray(generators, dtype=_np.int64)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ImplicitNeighborSource(n={self._n}, width={self.width})"
+
+
+def as_neighbor_source(source, num_nodes=None) -> NeighborSource:
+    """Coerce *source* -- a :class:`NeighborSource` or a raw table -- to a source.
+
+    The adapter that lets :func:`index_bfs_distances` keep accepting the bare
+    adjacency arrays its PR-3 callers pass while new callers hand it
+    ``Topology.neighbor_source()`` directly.
+    """
+    if isinstance(source, NeighborSource):
+        return source
+    return TableNeighborSource(source, num_nodes)
+
+
+def permutation_neighbor_source(generators, n: int, table_supplier) -> NeighborSource:
+    """Select the adjacency source for a permutation Cayley graph.
+
+    ``REPRO_NEIGHBORS`` decides (read at call time): ``table`` always serves
+    the materialised/memmap table from *table_supplier* (raising the usual
+    :class:`~repro.exceptions.TableDegreeError` past the table ceiling),
+    ``implicit`` always computes blocks on the fly, and ``auto`` -- the
+    default -- uses tables through
+    :data:`~repro.permutations.ranking.MAX_TABLE_DEGREE` and switches to the
+    implicit source beyond it, which is what makes degree-13+ sweeps possible
+    with no table on disk.
+    """
+    from repro.backend import neighbor_mode
+    from repro.permutations.ranking import within_table_degree
+
+    mode = neighbor_mode()
+    if mode == "implicit" or (mode == "auto" and not within_table_degree(n)):
+        return ImplicitNeighborSource(generators, n)
+    return TableNeighborSource(table_supplier())
+
+
 # ------------------------------------------------------ whole-graph services
 def _is_star(topology: "Topology") -> bool:
     from repro.topology.star import StarGraph
@@ -420,7 +611,7 @@ def _is_star(topology: "Topology") -> bool:
 def index_bfs_distances(
     table, num_nodes: int, origin_index: int, *, alive_mask=None, chunk_nodes=None
 ):
-    """Frontier-sweep BFS over an adjacency index table (NumPy required).
+    """Frontier-sweep BFS over an adjacency source (NumPy required).
 
     The one chunked sweep behind :func:`bfs_distances_from`,
     :func:`connected_under_alive_mask` and the masked rerouting floods
@@ -430,17 +621,22 @@ def index_bfs_distances(
     as ``flatnonzero(distances == level)`` -- the same sorted node set the
     unchunked ``np.unique`` sweep produced, so chunking is bit-exact while
     per-level gathers stay ``O(chunk * degree)``.  *table* may be an in-RAM
-    array or a memmap (the out-of-core tier pages rows in on demand).
+    array, a memmap (the out-of-core tier pages rows in on demand) or any
+    :class:`NeighborSource` -- including the table-free implicit source,
+    which computes each frontier block's neighbours on the fly.
 
     ``alive_mask`` (boolean, indexed by node) restricts the sweep to
     surviving nodes; dead nodes are impassable and keep distance ``-1``.
-    With ``REPRO_BACKEND=numba`` the whole sweep runs as one compiled
-    array-queue BFS (BFS levels are unique, so traversal order cannot change
-    the distances).
+    With ``REPRO_BACKEND=numba`` and a materialised table the whole sweep
+    runs as one compiled array-queue BFS (BFS levels are unique, so traversal
+    order cannot change the distances); for table-free sources the chunked
+    frontier runs instead and each block's ``unrank -> apply -> rank`` work
+    dispatches to the compiled implicit-neighbour kernel.
     """
     from repro.backend import resolve_chunk_nodes, use_numba
 
-    if use_numba():
+    source = as_neighbor_source(table, num_nodes)
+    if use_numba() and source.table is not None:
         from repro._numba_kernels import bfs_distances_kernel
 
         mask = (
@@ -449,7 +645,9 @@ def index_bfs_distances(
             else _np.ones(num_nodes, dtype=bool)
         )
         return bfs_distances_kernel(
-            _np.asarray(table), int(origin_index), _np.asarray(mask, dtype=bool)
+            _np.asarray(source.table),
+            int(origin_index),
+            _np.asarray(mask, dtype=bool),
         )
 
     chunk = resolve_chunk_nodes(chunk_nodes)
@@ -462,7 +660,7 @@ def index_bfs_distances(
         found = False
         for start in range(0, frontier.size, chunk):
             block = frontier[start : start + chunk]
-            candidates = table[block].reshape(-1)
+            candidates = source.neighbor_block(block).reshape(-1)
             candidates = candidates[candidates >= 0]
             if alive_mask is not None:
                 candidates = candidates[
@@ -485,13 +683,14 @@ def _index_sweep_from(topology: "Topology", origin_index: int, *, chunk_nodes=No
     Returns distances indexed by node index; unreachable nodes hold ``-1``.
     NumPy ``int64`` array when NumPy is available, else a list of ints.
     """
-    table = topology.neighbor_index_table()
     num_nodes = topology.num_nodes
     if _np is not None:
         return index_bfs_distances(
-            table, num_nodes, origin_index, chunk_nodes=chunk_nodes
+            topology.neighbor_source(), num_nodes, origin_index,
+            chunk_nodes=chunk_nodes,
         )
 
+    table = topology.neighbor_index_table()
     distances = [-1] * num_nodes
     distances[origin_index] = 0
     queue = deque([origin_index])
@@ -598,17 +797,20 @@ def connected_under_alive_mask(topology: "Topology", alive) -> bool:
     not connected (matching the dict reference in
     :func:`repro.topology.properties.connectivity_after_faults_reference`).
     """
-    table = topology.neighbor_index_table()
     if _np is not None:
         alive_mask = _np.asarray(alive, dtype=bool)
         alive_indices = _np.flatnonzero(alive_mask)
         if alive_indices.size == 0:
             return False
         distances = index_bfs_distances(
-            table, topology.num_nodes, int(alive_indices[0]), alive_mask=alive_mask
+            topology.neighbor_source(),
+            topology.num_nodes,
+            int(alive_indices[0]),
+            alive_mask=alive_mask,
         )
         return int((distances >= 0).sum()) == int(alive_indices.size)
 
+    table = topology.neighbor_index_table()
     alive_list = [bool(flag) for flag in alive]
     try:
         start = alive_list.index(True)

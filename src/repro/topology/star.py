@@ -200,6 +200,21 @@ class StarGraph(Topology):
         """
         return move_tables(self._n)
 
+    def neighbor_source(self):
+        """Adjacency source honouring ``REPRO_NEIGHBORS``.
+
+        ``auto`` serves the cached/memmap table through the table-tier
+        degrees and the table-free implicit source (``unrank -> g_j ->
+        rank``) beyond them; see
+        :func:`repro.topology.routing.permutation_neighbor_source`.
+        """
+        from repro.permutations.ranking import star_position_generators
+        from repro.topology.routing import permutation_neighbor_source
+
+        return permutation_neighbor_source(
+            star_position_generators(self._n), self._n, self.neighbor_index_table
+        )
+
     def neighbor_ranks(self, index: int, j: int) -> int:
         """Rank of the neighbour of node *index* along generator ``g_j``."""
         check_in_range(j, "j", 1, self._n - 1)

@@ -131,11 +131,18 @@ class TestTableDegreeGuard:
             with pytest.raises(TableDegreeError) as excinfo:
                 call()
             messages.add(str(excinfo.value))
-        # Above the absolute ceiling every entry point names it identically.
-        assert messages == {
+        # Above the absolute ceiling every entry point names it identically,
+        # and the message points past the dead end: the table-free implicit
+        # backend and the sampled estimators.
+        assert len(messages) == 1
+        (message,) = messages
+        assert message.startswith(
             f"per-degree move tables are limited to n <= {MAX_TABLE_DEGREE} "
             f"even memmap-streamed from the on-disk cache, got {over}"
-        }
+        )
+        assert "REPRO_NEIGHBORS=implicit" in message
+        assert "repro.simulation.sampling" in message
+        assert "SAMPLED-DISTANCE" in message
 
     def test_dense_tier_message_names_ceiling_and_cache_remedy(self):
         over = MAX_DENSE_DEGREE + 1

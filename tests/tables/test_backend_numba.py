@@ -94,6 +94,68 @@ class TestBfsParity:
             assert compiled == oracle
 
 
+class TestImplicitKernelParity:
+    """PR-8 kernels: compiled batch rank / implicit neighbours vs NumPy."""
+
+    def test_rank_batch(self, numba_backend, monkeypatch):
+        import math
+
+        from repro.permutations.ranking import rank_batch, unrank_batch
+
+        for n in (5, 8, 13):
+            ranks = np.random.default_rng(n).integers(
+                0, math.factorial(n), size=256, dtype=np.int64
+            )
+            perms = unrank_batch(ranks, n)
+            compiled = rank_batch(perms)
+            oracle = _with_numpy(monkeypatch, lambda: rank_batch(perms))
+            assert compiled.dtype == oracle.dtype
+            assert np.array_equal(compiled, oracle)
+            assert np.array_equal(compiled, ranks)
+
+    def test_implicit_neighbor_block(self, numba_backend, monkeypatch):
+        from repro.permutations.ranking import (
+            implicit_neighbor_block,
+            star_position_generators,
+        )
+
+        generators = star_position_generators(7)
+        ranks = np.random.default_rng(7).integers(0, 5040, size=300, dtype=np.int64)
+        compiled = implicit_neighbor_block(ranks, generators, 7)
+        oracle = _with_numpy(
+            monkeypatch, lambda: implicit_neighbor_block(ranks, generators, 7)
+        )
+        assert compiled.dtype == oracle.dtype
+        assert np.array_equal(compiled, oracle)
+
+    def test_implicit_bfs(self, numba_backend, monkeypatch):
+        star = StarGraph(6)
+        monkeypatch.setenv("REPRO_NEIGHBORS", "implicit")
+        source = star.neighbor_source()
+        assert source.table is None
+        compiled = np.asarray(index_bfs_distances(source, star.num_nodes, 0))
+        oracle = _with_numpy(
+            monkeypatch,
+            lambda: np.asarray(index_bfs_distances(source, star.num_nodes, 0)),
+        )
+        assert np.array_equal(compiled, oracle)
+        # And both match the table-backed sweep.
+        monkeypatch.setenv("REPRO_NEIGHBORS", "table")
+        table_swept = np.asarray(
+            index_bfs_distances(star.neighbor_index_table(), star.num_nodes, 0)
+        )
+        assert np.array_equal(compiled, table_swept)
+
+    def test_sampled_estimate(self, numba_backend, monkeypatch):
+        from repro.simulation.sampling import sampled_distance_estimate
+
+        compiled = sampled_distance_estimate("star", 9, 5_000, 2206)
+        oracle = _with_numpy(
+            monkeypatch, lambda: sampled_distance_estimate("star", 9, 5_000, 2206)
+        )
+        assert compiled == oracle
+
+
 class TestEmbeddingParity:
     def test_measure_embedding(self, numba_backend, monkeypatch):
         for n in (3, 4, 5):

@@ -1,0 +1,418 @@
+"""Table-free implicit adjacency (PR 8): parity with materialised tables.
+
+The contract under test: ``implicit_neighbor_block`` computes exactly the
+rows the move tables would hold (``unrank -> apply generator -> rank``), the
+``NeighborSource`` seam serves bit-identical adjacency from either side, and
+the whole-graph kernels -- BFS, connectivity floods, masked BFS, the batched
+embedding tally -- return the same results under ``REPRO_NEIGHBORS=implicit``
+as from the tables, at every chunk size.  The vectorised ``rank_batch``
+round-trips ``unrank_batch`` at degrees past the table ceiling, and the
+int64 rank guard (``21!`` overflows int64) raises the canonical
+:class:`~repro.exceptions.TableDegreeError` on every batch entry point.
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.backend import NEIGHBOR_MODES, neighbor_mode
+from repro.exceptions import InvalidParameterError, TableDegreeError
+from repro.permutations import ranking
+from repro.permutations.ranking import (
+    MAX_INT64_RANK_DEGREE,
+    MAX_TABLE_DEGREE,
+    implicit_neighbor_block,
+    move_tables,
+    move_tables_for,
+    permutation_rank,
+    permutation_unrank,
+    permutations_slice,
+    rank_batch,
+    star_position_generators,
+    unrank_batch,
+    within_int64_rank_degree,
+)
+from repro.simulation.rerouting import masked_bfs_distances
+from repro.topology.cayley import (
+    BubbleSortGraph,
+    PancakeGraph,
+    TranspositionTreeGraph,
+)
+from repro.topology.hypercube import Hypercube
+from repro.topology.routing import (
+    ImplicitNeighborSource,
+    TableNeighborSource,
+    as_neighbor_source,
+    connected_under_alive_mask,
+    index_bfs_distances,
+    permutation_neighbor_source,
+)
+from repro.topology.star import StarGraph
+
+HEAVY = bool(os.environ.get("REPRO_HEAVY_TESTS"))
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestRankBatch:
+    """The vectorised Lehmer encode, inverse of ``unrank_batch``."""
+
+    @pytest.mark.parametrize("n", [8, 12, 13, 14])
+    def test_round_trips_random_ranks(self, n):
+        # Degrees straddle the table ceiling on purpose: 13 and 14 have no
+        # tables at all, only the table-free batch pair.
+        total = math.factorial(n)
+        ranks = _rng(90 + n).integers(0, total, size=512, dtype=np.int64)
+        perms = unrank_batch(ranks, n)
+        assert perms.dtype == np.int8
+        assert perms.shape == (512, n)
+        back = rank_batch(perms)
+        assert back.dtype == np.int64
+        assert np.array_equal(back, ranks)
+
+    def test_matches_scalar_rank_exhaustively(self):
+        perms = permutations_slice(0, math.factorial(5), 5)
+        assert np.array_equal(rank_batch(perms), np.arange(math.factorial(5)))
+
+    def test_accepts_nested_sequences(self):
+        rows = [(1, 0, 2, 3), (3, 2, 1, 0), (0, 1, 2, 3)]
+        expected = [permutation_rank(row) for row in rows]
+        assert list(map(int, rank_batch(rows))) == expected
+
+    def test_rejects_non_batch_shape(self):
+        with pytest.raises(InvalidParameterError):
+            rank_batch(np.arange(4))
+
+    def test_empty_batch(self):
+        assert rank_batch(np.empty((0, 6), dtype=np.int8)).shape == (0,)
+
+
+class TestUnrankBatchNormalisation:
+    """Satellite 2: one ``np.asarray`` path, never a silent Python-list leg."""
+
+    def test_list_generator_and_array_agree(self):
+        reference = unrank_batch(np.array([0, 5, 17, 23], dtype=np.int64), 4)
+        assert isinstance(reference, np.ndarray)
+        for ranks in ([0, 5, 17, 23], iter((0, 5, 17, 23)), range(0, 24, 6)):
+            out = unrank_batch(ranks, 4)
+            assert isinstance(out, np.ndarray)
+            assert out.dtype == np.int8
+            if not isinstance(ranks, range):
+                assert np.array_equal(out, reference)
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(InvalidParameterError):
+            unrank_batch(np.zeros((2, 2), dtype=np.int64), 4)
+
+    def test_rejects_out_of_range_ranks(self):
+        with pytest.raises(InvalidParameterError):
+            unrank_batch([math.factorial(4)], 4)
+        with pytest.raises(InvalidParameterError):
+            unrank_batch([-1], 4)
+
+    def test_matches_scalar_unrank(self):
+        for n in (2, 5, 9, 13):
+            ranks = [0, 1, math.factorial(n) - 1, math.factorial(n) // 3]
+            rows = unrank_batch(ranks, n)
+            for row, rank in zip(rows, ranks):
+                assert tuple(map(int, row)) == permutation_unrank(rank, n)
+
+
+class TestInt64RankGuard:
+    """Satellite 1: ``21!`` overflows int64 -- every batch entry point raises."""
+
+    def test_boundary(self):
+        assert within_int64_rank_degree(MAX_INT64_RANK_DEGREE)
+        assert not within_int64_rank_degree(MAX_INT64_RANK_DEGREE + 1)
+        # The guarded degree really is where int64 dies.
+        assert math.factorial(MAX_INT64_RANK_DEGREE) < 2**63
+        assert math.factorial(MAX_INT64_RANK_DEGREE + 1) >= 2**63
+
+    def test_every_batch_entry_point_raises(self):
+        over = MAX_INT64_RANK_DEGREE + 1
+        generators = star_position_generators(over)
+        for call in (
+            lambda: unrank_batch([0], over),
+            lambda: rank_batch(np.zeros((1, over), dtype=np.int64)),
+            lambda: permutations_slice(0, 1, over),
+            lambda: implicit_neighbor_block([0], generators, over),
+            lambda: ImplicitNeighborSource(generators, over),
+        ):
+            with pytest.raises(TableDegreeError) as excinfo:
+                call()
+            assert "int64" in str(excinfo.value)
+
+    def test_table_free_helpers_work_past_the_table_ceiling(self):
+        n = MAX_TABLE_DEGREE + 1  # 13: no table may exist at this degree
+        rows = permutations_slice(0, 4, n)
+        for rank, row in enumerate(rows):
+            assert tuple(map(int, row)) == permutation_unrank(rank, n)
+
+
+def _family_instances(n):
+    """The four permutation families of the repo, with their generators."""
+    tree = TranspositionTreeGraph(
+        n, ((0, 1), (1, 2)) + tuple((1, j) for j in range(3, n))
+    )
+    return [
+        ("star", StarGraph(n), star_position_generators(n)),
+        ("pancake", PancakeGraph(n), PancakeGraph(n).generators),
+        ("bubble-sort", BubbleSortGraph(n), BubbleSortGraph(n).generators),
+        ("transposition-tree", tree, tree.generators),
+    ]
+
+
+class TestImplicitBlockParity:
+    """``implicit_neighbor_block`` vs the materialised tables, all families."""
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_full_graph_parity_all_families(self, n):
+        ranks = np.arange(math.factorial(n), dtype=np.int64)
+        for name, _, generators in _family_instances(n):
+            stacked = np.column_stack(
+                [np.asarray(t) for t in move_tables_for(tuple(generators), n)]
+            )
+            block = implicit_neighbor_block(ranks, tuple(generators), n)
+            assert block.dtype == np.int64
+            assert np.array_equal(block, stacked), name
+
+    def test_chunk_size_never_changes_the_block(self):
+        generators = star_position_generators(5)
+        ranks = _rng(7).integers(0, 120, size=64, dtype=np.int64)
+        reference = implicit_neighbor_block(ranks, generators, 5)
+        for chunk in (1, 3, 17, 10**9):
+            assert np.array_equal(
+                implicit_neighbor_block(ranks, generators, 5, chunk_nodes=chunk),
+                reference,
+            )
+
+    def test_respects_chunk_env(self, monkeypatch):
+        generators = star_position_generators(4)
+        reference = implicit_neighbor_block(np.arange(24), generators, 4)
+        monkeypatch.setenv("REPRO_CHUNK_NODES", "5")
+        assert np.array_equal(
+            implicit_neighbor_block(np.arange(24), generators, 4), reference
+        )
+
+    def test_generator_validation_matches_the_table_builders(self):
+        # The same guards as move_tables_for: no identity, involutions only.
+        with pytest.raises(InvalidParameterError):
+            implicit_neighbor_block([0], ((0, 1, 2),), 3)
+        with pytest.raises(InvalidParameterError):
+            implicit_neighbor_block([0], ((1, 2, 0),), 3)
+
+    def test_rejects_out_of_range_ranks(self):
+        generators = star_position_generators(4)
+        with pytest.raises(InvalidParameterError):
+            implicit_neighbor_block([24], generators, 4)
+
+    def test_memmap_tier_parity(self, tmp_path, monkeypatch):
+        """Implicit blocks match the out-of-core memmap tables bit for bit."""
+        monkeypatch.setenv("REPRO_TABLE_CACHE", str(tmp_path))
+        monkeypatch.setattr(ranking, "MAX_DENSE_DEGREE", 4)
+        move_tables_for.cache_clear()
+        move_tables.cache_clear()
+        try:
+            generators = star_position_generators(6)
+            streamed = move_tables_for(generators, 6)
+            assert all(isinstance(t, np.memmap) for t in streamed)
+            ranks = np.arange(math.factorial(6), dtype=np.int64)
+            block = implicit_neighbor_block(ranks, generators, 6)
+            assert np.array_equal(
+                block, np.column_stack([np.asarray(t) for t in streamed])
+            )
+        finally:
+            move_tables_for.cache_clear()
+            move_tables.cache_clear()
+
+
+class TestNeighborSourceSeam:
+    """Both source flavours answer block queries identically."""
+
+    def test_table_source_serves_table_rows(self):
+        star = StarGraph(5)
+        table = star.neighbor_index_table()
+        source = TableNeighborSource(table)
+        assert source.table is table
+        assert source.num_nodes == 120
+        assert source.width == 4
+        indices = np.array([0, 17, 119], dtype=np.int64)
+        assert np.array_equal(
+            source.neighbor_block(indices), np.asarray(table)[indices]
+        )
+
+    def test_implicit_source_matches_table_source(self):
+        for name, _, generators in _family_instances(5):
+            table = np.column_stack(
+                [np.asarray(t) for t in move_tables_for(tuple(generators), 5)]
+            )
+            table_source = TableNeighborSource(table)
+            implicit = ImplicitNeighborSource(generators, 5)
+            assert implicit.table is None
+            assert implicit.num_nodes == table_source.num_nodes
+            assert implicit.width == table_source.width
+            indices = _rng(11).integers(0, 120, size=40, dtype=np.int64)
+            assert np.array_equal(
+                implicit.neighbor_block(indices),
+                table_source.neighbor_block(indices),
+            ), name
+            # Scalar generator column and per-row generator arrays.
+            for g in (0, implicit.width - 1):
+                assert np.array_equal(
+                    implicit.neighbor_along(indices, g),
+                    table_source.neighbor_along(indices, g),
+                ), name
+            per_row = _rng(12).integers(0, implicit.width, size=40)
+            assert np.array_equal(
+                implicit.neighbor_along(indices, per_row),
+                table_source.neighbor_along(indices, per_row),
+            ), name
+
+    def test_as_neighbor_source(self):
+        star = StarGraph(4)
+        table = star.neighbor_index_table()
+        wrapped = as_neighbor_source(table)
+        assert isinstance(wrapped, TableNeighborSource)
+        implicit = ImplicitNeighborSource(star_position_generators(4), 4)
+        assert as_neighbor_source(implicit) is implicit
+
+
+class TestModeSelection:
+    """``REPRO_NEIGHBORS`` decides which source a permutation graph serves."""
+
+    def _fail_supplier(self):
+        raise AssertionError("table_supplier must not be called in implicit mode")
+
+    def test_mode_values(self, monkeypatch):
+        assert neighbor_mode() == "auto"
+        for mode in NEIGHBOR_MODES:
+            monkeypatch.setenv("REPRO_NEIGHBORS", mode)
+            assert neighbor_mode() == mode
+        monkeypatch.setenv("REPRO_NEIGHBORS", "IMPLICIT")
+        assert neighbor_mode() == "implicit"  # case-insensitive, like backend
+
+    def test_invalid_mode_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NEIGHBORS", "magic")
+        with pytest.raises(InvalidParameterError):
+            neighbor_mode()
+
+    def test_auto_serves_tables_in_range(self):
+        source = permutation_neighbor_source(
+            star_position_generators(5), 5, StarGraph(5).neighbor_index_table
+        )
+        assert isinstance(source, TableNeighborSource)
+
+    def test_auto_goes_implicit_past_the_table_ceiling(self):
+        n = MAX_TABLE_DEGREE + 1
+        source = permutation_neighbor_source(
+            star_position_generators(n), n, self._fail_supplier
+        )
+        assert isinstance(source, ImplicitNeighborSource)
+        assert source.num_nodes == math.factorial(n)
+
+    def test_implicit_mode_never_touches_the_supplier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NEIGHBORS", "implicit")
+        source = permutation_neighbor_source(
+            star_position_generators(5), 5, self._fail_supplier
+        )
+        assert isinstance(source, ImplicitNeighborSource)
+
+    def test_table_mode_is_forced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NEIGHBORS", "table")
+        source = permutation_neighbor_source(
+            star_position_generators(5), 5, StarGraph(5).neighbor_index_table
+        )
+        assert isinstance(source, TableNeighborSource)
+
+    def test_topology_entry_points(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NEIGHBORS", "implicit")
+        for topology in (StarGraph(4), PancakeGraph(4), BubbleSortGraph(4)):
+            assert isinstance(topology.neighbor_source(), ImplicitNeighborSource)
+        # Non-permutation topologies have no implicit form: always the table.
+        assert isinstance(Hypercube(3).neighbor_source(), TableNeighborSource)
+        monkeypatch.delenv("REPRO_NEIGHBORS")
+        assert isinstance(StarGraph(4).neighbor_source(), TableNeighborSource)
+
+
+class TestWholeGraphParityUnderImplicit:
+    """Acceptance: implicit BFS/connectivity bit-identical at every chunk size."""
+
+    @pytest.mark.parametrize("n", [5, 6, 7])
+    def test_bfs_distances(self, n, monkeypatch):
+        for name, topology, _generators in _family_instances(n):
+            table = topology.neighbor_index_table()
+            reference = np.asarray(
+                index_bfs_distances(table, topology.num_nodes, 1)
+            )
+            monkeypatch.setenv("REPRO_NEIGHBORS", "implicit")
+            source = topology.neighbor_source()
+            assert source.table is None
+            for chunk in (1, 97, 10**9) if n == 5 else (97, 10**9):
+                monkeypatch.setenv("REPRO_CHUNK_NODES", str(chunk))
+                got = np.asarray(
+                    index_bfs_distances(source, topology.num_nodes, 1)
+                )
+                assert got.dtype == reference.dtype
+                assert np.array_equal(got, reference), name
+            monkeypatch.delenv("REPRO_CHUNK_NODES")
+            monkeypatch.delenv("REPRO_NEIGHBORS")
+
+    def test_connectivity_flood(self, monkeypatch):
+        star = StarGraph(5)
+        neighbor_ranks = [star.node_index(v) for v in star.neighbors(star.identity)]
+        for dead in (neighbor_ranks, neighbor_ranks[:-1], []):
+            alive = np.ones(star.num_nodes, dtype=bool)
+            alive[list(dead)] = False
+            reference = connected_under_alive_mask(star, alive)
+            monkeypatch.setenv("REPRO_NEIGHBORS", "implicit")
+            assert connected_under_alive_mask(star, alive) == reference
+            monkeypatch.delenv("REPRO_NEIGHBORS")
+
+    def test_masked_bfs(self, monkeypatch):
+        star = StarGraph(5)
+        alive = np.ones(star.num_nodes, dtype=bool)
+        alive[[3, 17, 44, 90]] = False
+        reference = np.asarray(masked_bfs_distances(star, 0, alive))
+        monkeypatch.setenv("REPRO_NEIGHBORS", "implicit")
+        for chunk in (13, 10**9):
+            monkeypatch.setenv("REPRO_CHUNK_NODES", str(chunk))
+            assert np.array_equal(
+                np.asarray(masked_bfs_distances(star, 0, alive)), reference
+            )
+
+    def test_embedding_tally(self, monkeypatch):
+        from repro.embedding.metrics import (
+            measure_embedding,
+            measure_embedding_reference,
+        )
+        from repro.embedding.mesh_to_star import MeshToStarEmbedding
+
+        for n in (3, 4, 5):
+            reference = measure_embedding(MeshToStarEmbedding(n))
+            monkeypatch.setenv("REPRO_NEIGHBORS", "implicit")
+            implicit = measure_embedding(MeshToStarEmbedding(n))
+            monkeypatch.delenv("REPRO_NEIGHBORS")
+            assert implicit == reference
+            assert implicit == measure_embedding_reference(MeshToStarEmbedding(n))
+
+    @pytest.mark.skipif(
+        not HEAVY,
+        reason="S_8-S_10 implicit sweeps take minutes; set REPRO_HEAVY_TESTS=1",
+    )
+    @pytest.mark.parametrize("n", [8, 9, 10])
+    def test_bfs_distances_heavy_degrees(self, n, monkeypatch):
+        star = StarGraph(n)
+        reference = np.asarray(
+            index_bfs_distances(star.neighbor_index_table(), star.num_nodes, 0)
+        )
+        monkeypatch.setenv("REPRO_NEIGHBORS", "implicit")
+        source = star.neighbor_source()
+        assert source.table is None
+        for chunk in (4096, 10**9):
+            monkeypatch.setenv("REPRO_CHUNK_NODES", str(chunk))
+            got = np.asarray(index_bfs_distances(source, star.num_nodes, 0))
+            assert np.array_equal(got, reference)
