@@ -11,11 +11,14 @@ queryable trajectory of the hot paths across the repository's history::
     python benchmarks/run_bench.py --output /tmp/b.json
     python benchmarks/run_bench.py --compare        # vs latest committed snapshot
     python benchmarks/run_bench.py --compare BENCH_2026-07-28.json
+    python benchmarks/run_bench.py --compare --json compare.json
 
-``--compare`` prints the per-benchmark speedup/regression against a baseline
-snapshot (by default the most recent committed ``BENCH_*.json``) and exits
-non-zero when any shared benchmark regressed by more than
-``--regression-threshold`` (default 20%) -- the start of perf CI.
+``--compare`` prints the per-benchmark delta table (old/new medians, speedup,
+signed delta %) against a baseline snapshot (by default the most recent
+committed ``BENCH_*.json``) and exits non-zero when any shared benchmark
+regressed by more than ``--regression-threshold`` (default 20%) -- the start
+of perf CI.  ``--json PATH`` additionally archives the structured comparison
+(per-row old/new/delta and the regression list) for CI artifacts.
 
 Any extra arguments are forwarded to pytest (e.g. ``-k``, ``-x``).
 """
@@ -125,8 +128,70 @@ def latest_snapshot_path(exclude: Path = None) -> Path:
     return candidates[-1] if candidates else None
 
 
+def build_comparison(
+    baseline: dict, current: dict, threshold: float, min_median: float = 0.0005
+) -> dict:
+    """The structured comparison of two snapshots (what ``--json`` archives).
+
+    One row per benchmark name across both snapshots: shared rows carry the
+    old/new medians, the speedup, the signed delta percentage and a status
+    (``ok`` / ``regression`` / ``noise`` -- a slowdown past *threshold* whose
+    medians both sit below the *min_median* noise floor); rows present in
+    only one snapshot get status ``new`` / ``gone`` and ``None`` for the
+    missing side.  ``regressions`` lists the gating names in row order.
+    """
+    old_medians = baseline.get("medians", {})
+    new_medians = current.get("medians", {})
+    rows = []
+    regressions = []
+    for name in sorted(set(old_medians) | set(new_medians)):
+        old_entry = old_medians.get(name)
+        new_entry = new_medians.get(name)
+        old = old_entry["median_seconds"] if old_entry else None
+        new = new_entry["median_seconds"] if new_entry else None
+        if old is None or new is None:
+            rows.append(
+                {
+                    "benchmark": name,
+                    "old_seconds": old,
+                    "new_seconds": new,
+                    "speedup": None,
+                    "delta_pct": None,
+                    "status": "new" if old is None else "gone",
+                }
+            )
+            continue
+        speedup = old / new if new else float("inf")
+        delta_pct = (new - old) / old * 100.0 if old else 0.0
+        status = "ok"
+        if new > old * (1.0 + threshold):
+            if max(old, new) >= min_median:
+                status = "regression"
+                regressions.append(name)
+            else:
+                status = "noise"
+        rows.append(
+            {
+                "benchmark": name,
+                "old_seconds": old,
+                "new_seconds": new,
+                "speedup": round(speedup, 4),
+                "delta_pct": round(delta_pct, 2),
+                "status": status,
+            }
+        )
+    return {
+        "baseline": {"date": baseline.get("date"), "commit": baseline.get("commit")},
+        "current": {"date": current.get("date"), "commit": current.get("commit")},
+        "threshold": threshold,
+        "min_median_seconds": min_median,
+        "rows": rows,
+        "regressions": regressions,
+    }
+
+
 def compare(baseline: dict, current: dict, threshold: float, min_median: float = 0.0005) -> list:
-    """Print per-benchmark speedups vs *baseline*; return regressed names.
+    """Print the per-benchmark delta table vs *baseline*; return regressed names.
 
     A benchmark regresses when its median exceeds the baseline median by more
     than *threshold* (a fraction, e.g. 0.2 for 20%) *and* either median is at
@@ -135,35 +200,46 @@ def compare(baseline: dict, current: dict, threshold: float, min_median: float =
     than gating the run.  Benchmarks present in only one snapshot are listed
     but never fail the run.
     """
-    old_medians = baseline.get("medians", {})
-    new_medians = current.get("medians", {})
-    shared = sorted(set(old_medians) & set(new_medians))
-    regressions = []
+    comparison = build_comparison(baseline, current, threshold, min_median)
+    shared = [
+        row for row in comparison["rows"] if row["status"] not in ("new", "gone")
+    ]
+    regressions = comparison["regressions"]
     if not shared:
         print("no shared benchmarks to compare")
         return regressions
-    width = max(len(name) for name in shared)
+    width = max(len(row["benchmark"]) for row in comparison["rows"])
     print(
         f"\ncomparing against {baseline.get('date')} "
         f"(commit {baseline.get('commit')}):"
     )
-    print(f"{'benchmark'.ljust(width)}  {'old (s)':>12}  {'new (s)':>12}  speedup")
-    for name in shared:
-        old = old_medians[name]["median_seconds"]
-        new = new_medians[name]["median_seconds"]
-        speedup = old / new if new else float("inf")
+    print(
+        f"{'benchmark'.ljust(width)}  {'old (s)':>12}  {'new (s)':>12}  "
+        f"speedup  {'delta':>8}"
+    )
+    for row in shared:
         flag = ""
-        if new > old * (1.0 + threshold):
-            if max(old, new) >= min_median:
-                flag = "  << REGRESSION"
-                regressions.append(name)
-            else:
-                flag = "  (slower, below noise floor)"
-        print(f"{name.ljust(width)}  {old:12.6f}  {new:12.6f}  {speedup:6.2f}x{flag}")
-    for name in sorted(set(new_medians) - set(old_medians)):
-        print(f"{name.ljust(width)}  {'-':>12}  {new_medians[name]['median_seconds']:12.6f}  (new)")
-    for name in sorted(set(old_medians) - set(new_medians)):
-        print(f"{name.ljust(width)}  {old_medians[name]['median_seconds']:12.6f}  {'-':>12}  (gone)")
+        if row["status"] == "regression":
+            flag = "  << REGRESSION"
+        elif row["status"] == "noise":
+            flag = "  (slower, below noise floor)"
+        print(
+            f"{row['benchmark'].ljust(width)}  {row['old_seconds']:12.6f}  "
+            f"{row['new_seconds']:12.6f}  {row['speedup']:6.2f}x  "
+            f"{row['delta_pct']:+7.1f}%{flag}"
+        )
+    for row in comparison["rows"]:
+        if row["status"] == "new":
+            print(
+                f"{row['benchmark'].ljust(width)}  {'-':>12}  "
+                f"{row['new_seconds']:12.6f}  (new)"
+            )
+    for row in comparison["rows"]:
+        if row["status"] == "gone":
+            print(
+                f"{row['benchmark'].ljust(width)}  {row['old_seconds']:12.6f}  "
+                f"{'-':>12}  (gone)"
+            )
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than {threshold:.0%}")
     return regressions
@@ -199,7 +275,18 @@ def main() -> None:
         help="noise floor in seconds: slower-but-faster-than-this benchmarks "
         "are reported but do not fail the run (default 0.0005)",
     )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="with --compare: also write the structured comparison (per-row "
+        "old/new/delta%% and the regression list) as JSON to PATH, so CI "
+        "can archive it",
+    )
     args, pytest_args = parser.parse_known_args()
+    if args.json is not None and args.compare is None:
+        parser.error("--json requires --compare")
 
     output = args.output or REPO_ROOT / f"BENCH_{_dt.date.today().isoformat()}.json"
     baseline = None
@@ -226,6 +313,14 @@ def main() -> None:
         regressions = compare(
             baseline, snapshot, args.regression_threshold, args.min_median
         )
+        if args.json is not None:
+            comparison = build_comparison(
+                baseline, snapshot, args.regression_threshold, args.min_median
+            )
+            with open(args.json, "w") as handle:
+                json.dump(comparison, handle, indent=2)
+                handle.write("\n")
+            print(f"wrote comparison to {args.json}")
         if regressions:
             raise SystemExit(1)
 

@@ -41,7 +41,6 @@ site:
 from __future__ import annotations
 
 import os
-import warnings
 from functools import lru_cache
 
 from repro.exceptions import InvalidParameterError
@@ -129,11 +128,15 @@ def use_numba() -> bool:
     if numba_available():
         return True
     if not _warned_numba_missing:
-        warnings.warn(
-            f"{BACKEND_ENV}=numba requested but numba is not importable; "
+        # Through the telemetry logging shim: silent inside library use
+        # (NullHandler), visible on stderr from the CLI, which installs the
+        # handler at startup.
+        from repro.telemetry import get_logger
+
+        get_logger("backend").warning(
+            "%s=numba requested but numba is not importable; "
             "falling back to the numpy backend",
-            RuntimeWarning,
-            stacklevel=2,
+            BACKEND_ENV,
         )
         _warned_numba_missing = True
     return False

@@ -36,6 +36,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.embedding.base import Embedding
 from repro.exceptions import EmbeddingError
 from repro.topology.base import Node
@@ -400,35 +401,47 @@ def _build_mesh_to_star_edge_data(embedding, chunk_nodes=None) -> _MeshToStarEdg
     three_hop_edges = 0
     consistent = True
     chunk = resolve_chunk_nodes(chunk_nodes)
-    for _dim, u_indices, v_indices in mesh.dimension_edge_indices():
-        for start in range(0, len(u_indices), chunk):
-            u_ranks = ranks[u_indices[start : start + chunk]]
-            v_ranks = ranks[v_indices[start : start + chunk]]
-            if u_ranks.size == 0:
-                continue
-            source = permutation_rows(u_ranks)
-            target = permutation_rows(v_ranks)
-            if kernel is not None:
-                lengths, links, block_ok = kernel(
-                    source,
-                    target,
-                    _np.asarray(neighbor_source.table),
-                    u_ranks,
-                    v_ranks,
-                )
-                ones = int((lengths == 1).sum())
-                threes = int(lengths.size) - ones
-            else:
-                links, ones, threes, block_ok = _mesh_star_edge_block(
-                    source, target, neighbor_source, u_ranks, v_ranks, n
-                )
-            one_hop_edges += ones
-            three_hop_edges += threes
-            consistent = consistent and bool(block_ok)
-            if links.size:
-                any_links = True
-                ids, counts = _np.unique(links, return_counts=True)
-                usage[ids] += counts
+    with telemetry.span(
+        "kernel.embedding_tally",
+        degree=n,
+        num_nodes=num_nodes,
+        backend="numba" if kernel is not None else "numpy",
+        neighbor_source="table" if neighbor_source.table is not None else "implicit",
+        chunk_nodes=chunk,
+    ) as sp:
+        blocks = 0
+        for _dim, u_indices, v_indices in mesh.dimension_edge_indices():
+            for start in range(0, len(u_indices), chunk):
+                u_ranks = ranks[u_indices[start : start + chunk]]
+                v_ranks = ranks[v_indices[start : start + chunk]]
+                if u_ranks.size == 0:
+                    continue
+                blocks += 1
+                source = permutation_rows(u_ranks)
+                target = permutation_rows(v_ranks)
+                if kernel is not None:
+                    lengths, links, block_ok = kernel(
+                        source,
+                        target,
+                        _np.asarray(neighbor_source.table),
+                        u_ranks,
+                        v_ranks,
+                    )
+                    ones = int((lengths == 1).sum())
+                    threes = int(lengths.size) - ones
+                else:
+                    links, ones, threes, block_ok = _mesh_star_edge_block(
+                        source, target, neighbor_source, u_ranks, v_ranks, n
+                    )
+                one_hop_edges += ones
+                three_hop_edges += threes
+                consistent = consistent and bool(block_ok)
+                if links.size:
+                    any_links = True
+                    ids, counts = _np.unique(links, return_counts=True)
+                    usage[ids] += counts
+        if telemetry.trace_enabled():
+            sp.add(chunks=blocks, guest_edges=one_hop_edges + three_hop_edges)
 
     guest_edges = one_hop_edges + three_hop_edges
     load = _np.bincount(ranks, minlength=num_nodes)

@@ -25,6 +25,7 @@ __all__ = [
     "ArtifactError",
     "ArtifactCorruptError",
     "ShardFailedError",
+    "TraceError",
 ]
 
 
@@ -118,6 +119,16 @@ class ArtifactCorruptError(ArtifactError):
     re-run and overwrite; corrupt entries are evidence of a crashed writer or
     external damage, so the runner quarantines them (rename to ``*.corrupt``)
     instead of silently destroying the evidence.
+    """
+
+
+class TraceError(ReproError):
+    """A telemetry trace file is unreadable or violates the event schema.
+
+    Raised by :mod:`repro.telemetry.summarize` when a ``REPRO_TRACE`` JSONL
+    file cannot be parsed or an event misses required fields -- the trace
+    analysis counterpart of :class:`ArtifactError`, and a :class:`ReproError`
+    so ``repro-star trace summarize`` reports it as one readable line.
     """
 
 

@@ -51,6 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import telemetry
 from repro.exceptions import ArtifactCorruptError, ArtifactError
 from repro.experiments.report import ExperimentResult, json_safe
 
@@ -383,6 +384,13 @@ class ArtifactStore:
             except OSError:  # pragma: no cover - already renamed or gone
                 pass
             raise
+        telemetry.add_counter(
+            "store.write",
+            bytes=path.stat().st_size,
+            experiment=payload["experiment_id"],
+            profile=payload["profile"],
+            key=record["key"],
+        )
         return path
 
     def read(self, experiment_id: str, profile: str, key: str) -> Dict[str, object]:
@@ -436,6 +444,14 @@ class ArtifactStore:
             os.replace(path, target)
         except FileNotFoundError:
             return None
+        telemetry.add_counter(
+            "store.quarantine",
+            bytes=target.stat().st_size,
+            experiment=experiment_id,
+            profile=profile,
+            key=key,
+            reason=reason or "unspecified",
+        )
         if reason:
             try:
                 target.with_name(target.name + ".reason").write_text(reason + "\n")

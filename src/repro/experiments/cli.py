@@ -43,6 +43,16 @@ Usage
     emits the machine-readable listing on stdout.
 ``repro-star tables clear [--degree N]``
     Delete cached table sets (all of them, or one degree's).
+``repro-star run all --fast --trace trace.jsonl --timings``
+    Additionally append structured telemetry (kernel spans, cache/store
+    counters, per-shard timings) to ``trace.jsonl`` while the run executes
+    -- equivalent to setting ``REPRO_TRACE`` -- and print the per-shard
+    timing table on stderr.  Tracing never changes results: payloads are
+    byte-identical with and without ``--trace``.
+``repro-star trace summarize trace.jsonl [--json]``
+    Validate a JSONL trace file and print per-span aggregates (count,
+    total, p50, p99), counter totals and gauge ranges; ``--json`` emits
+    the same summary machine-readable on stdout.
 
 Failure semantics
 -----------------
@@ -64,9 +74,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
+from repro import telemetry
 from repro.exceptions import ArtifactError, ReproError
 from repro.experiments.artifacts import ArtifactStore
 from repro.experiments.registry import (
@@ -163,6 +175,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="kill a shard's worker after SECONDS and count the attempt as "
         "failed (needs --jobs >= 2; default: no limit)",
     )
+    run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="append structured telemetry (kernel spans, cache counters, "
+        "shard timings) to PATH as JSON lines; equivalent to setting "
+        "REPRO_TRACE=PATH (worker processes inherit it); inspect with "
+        "'repro-star trace summarize PATH'",
+    )
+    run_parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print a per-shard timing table (status, seconds, attempts) "
+        "on stderr after the run",
+    )
 
     report_parser = subparsers.add_parser(
         "report", help="render a static report from an artifact store"
@@ -233,6 +260,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="only clear degree N's table sets (default: all)",
     )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect telemetry traces (REPRO_TRACE / run --trace)"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    summarize_parser_ = trace_sub.add_parser(
+        "summarize",
+        help="validate a JSONL trace file and print per-span aggregates",
+    )
+    summarize_parser_.add_argument(
+        "trace_file",
+        help="JSONL trace file (written under REPRO_TRACE or run --trace)",
+    )
+    summarize_parser_.add_argument(
+        "--json",
+        action="store_true",
+        help="print the aggregate summary as JSON instead of text tables",
+    )
     return parser
 
 
@@ -269,6 +314,24 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
         parser.error("--force requires --out")
     profile = args.profile or ("fast" if args.fast else "default")
 
+    if args.trace is None:
+        return _execute_run(args, profile)
+    # --trace goes through the environment so pool workers inherit it; the
+    # previous value is restored afterwards (tests drive main() in-process).
+    previous = os.environ.get(telemetry.TRACE_ENV)
+    os.environ[telemetry.TRACE_ENV] = args.trace
+    telemetry.refresh_from_env()
+    try:
+        return _execute_run(args, profile)
+    finally:
+        if previous is None:
+            os.environ.pop(telemetry.TRACE_ENV, None)
+        else:
+            os.environ[telemetry.TRACE_ENV] = previous
+        telemetry.refresh_from_env()
+
+
+def _execute_run(args, profile: str) -> int:
     shards = plan_shards(args.experiments, profile=profile)
     store = ArtifactStore(args.out) if args.out is not None else None
     json_to_stdout = args.json == "-"
@@ -322,6 +385,8 @@ def _cmd_run(args, parser: argparse.ArgumentParser) -> int:
         print(summary + f" (store: {store.root})", file=sys.stderr)
     if report.failed:
         print(_failure_table(report.failed), file=sys.stderr)
+    if args.timings:
+        print(_timing_table(report.metrics), file=sys.stderr)
 
     if not json_to_stdout and not stream_tables:
         for payload in report.payloads():
@@ -361,6 +426,52 @@ def _failure_table(failures) -> str:
         cells = [f"{row[col]:{widths[col]}s}" for col in range(len(widths))]
         lines.append("  " + "  ".join(cells + [row[-1]]))
     return "\n".join(lines)
+
+
+def _timing_table(metrics) -> str:
+    """The per-shard timing table printed on stderr under ``--timings``."""
+    header = (
+        f"shard timings: {metrics['shards']} shard(s), {metrics['ran']} ran, "
+        f"{metrics['cached']} cached, {metrics['failed']} failed, "
+        f"{metrics['retries']} retried, {metrics['elapsed_seconds']:.3f}s total"
+    )
+    timings = metrics.get("shard_timings", [])
+    if not timings:
+        return header
+    headers = ("experiment", "profile", "status", "seconds", "attempts")
+    rows = [
+        (
+            entry["experiment"],
+            entry["profile"],
+            entry["status"],
+            f"{entry['seconds']:.3f}",
+            str(entry["attempts"]),
+        )
+        for entry in timings
+    ]
+    widths = [
+        max(len(headers[col]), max(len(row[col]) for row in rows))
+        for col in range(len(headers))
+    ]
+    lines = [header]
+    for row in [headers] + rows:
+        lines.append(
+            "  " + "  ".join(f"{row[col]:{widths[col]}s}" for col in range(len(row)))
+        )
+    return "\n".join(lines)
+
+
+def _cmd_trace(args, parser: argparse.ArgumentParser) -> int:
+    if args.trace_command == "summarize":
+        events = telemetry.load_trace(args.trace_file)
+        telemetry.validate_trace_events(events)
+        summary = telemetry.summarize_trace(events)
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(telemetry.render_summary(summary, title=args.trace_file))
+        return 0
+    parser.error(f"unknown trace command {args.trace_command!r}")  # pragma: no cover
 
 
 def _cmd_report(args, parser: argparse.ArgumentParser) -> int:
@@ -455,6 +566,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Library modules log through the "repro" logger behind a NullHandler;
+    # the CLI is the one place the stderr handler is attached, keeping the
+    # historical "[repro.tables] ..." messages visible to terminal users.
+    telemetry.enable_stderr_logging()
 
     try:
         if args.command == "list":
@@ -465,6 +580,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args, parser)
         if args.command == "tables":
             return _cmd_tables(args, parser)
+        if args.command == "trace":
+            return _cmd_trace(args, parser)
     except ReproError as error:
         print(f"repro-star: error: {error}", file=sys.stderr)
         return 2

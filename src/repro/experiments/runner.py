@@ -73,6 +73,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.exceptions import (
     ArtifactCorruptError,
     ArtifactError,
@@ -301,6 +302,16 @@ class RunReport:
         Non-fatal events of the run (quarantined store entries, retries).
     elapsed_seconds : float
         Wall-clock of the whole call (including pool startup).
+    metrics : dict
+        Uniform run summary, populated on *every* code path (serial, pool,
+        single-shard fast path, and the all-cached path that executes
+        nothing): ``shards`` / ``ran`` / ``cached`` / ``failed`` / ``retries``
+        counts, the call's ``elapsed_seconds``, and ``shard_timings`` -- one
+        ``{experiment, profile, key, status, seconds, attempts}`` entry per
+        shard, in shard order (``status`` is ``ran``/``cached``/``failed``;
+        ``seconds`` is the shard's own run wall-clock, 0 for cached and
+        failed shards).  The same entries are emitted as ``runner.shard``
+        telemetry spans when ``REPRO_TRACE`` is active.
     """
 
     shards: List[Shard]
@@ -310,6 +321,7 @@ class RunReport:
     failed: List[ShardFailure] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     def payloads(self) -> List[Dict[str, object]]:
         """The aggregated serial-format artifact list, in shard order.
@@ -440,12 +452,36 @@ def run_shards(
     started = time.perf_counter()
     records: List[Optional[Dict[str, object]]] = [None] * len(shards)
     failures: Dict[int, ShardFailure] = {}
+    timings: Dict[int, Dict[str, object]] = {}  # shard index -> terminal event
+    retries = 0
     report = RunReport(shards=list(shards), records=[])
 
     def _warn(message: str) -> None:
         report.warnings.append(message)
         if warn is not None:
             warn(message)
+
+    def _settle(
+        index: int, shard: Shard, status: str, seconds: float, attempts: int
+    ) -> None:
+        """Record one shard's terminal event (timing table + telemetry span)."""
+        timings[index] = {
+            "experiment": shard.experiment_id,
+            "profile": shard.profile,
+            "key": shard.key,
+            "status": status,
+            "seconds": float(seconds),
+            "attempts": attempts,
+        }
+        telemetry.emit_span(
+            "runner.shard",
+            float(seconds),
+            status=status,
+            experiment=shard.experiment_id,
+            profile=shard.profile,
+            key=shard.key,
+            attempts=attempts,
+        )
 
     def _from_store(shard: Shard) -> Optional[Dict[str, object]]:
         """The stored record for *shard*, or None when absent/stale/corrupt.
@@ -461,6 +497,10 @@ def run_shards(
         if store is None or force or not store.exists(
             shard.experiment_id, shard.profile, shard.key
         ):
+            if store is not None:
+                telemetry.add_counter(
+                    "store.miss", experiment=shard.experiment_id, key=shard.key
+                )
             return None
         try:
             record = store.read(shard.experiment_id, shard.profile, shard.key)
@@ -476,20 +516,31 @@ def run_shards(
                 )
             return None
         except ArtifactError:
-            return None  # stale (old schema): safe to re-run and overwrite
+            # Stale (old schema): safe to re-run and overwrite.
+            telemetry.add_counter(
+                "store.stale", experiment=shard.experiment_id, key=shard.key
+            )
+            return None
+        telemetry.add_counter(
+            "store.hit", experiment=shard.experiment_id, key=shard.key
+        )
         return record
 
-    def _finish(index: int, shard: Shard, record: Dict[str, object]) -> None:
+    def _finish(
+        index: int, shard: Shard, record: Dict[str, object], attempts: int = 1
+    ) -> None:
         records[index] = record
         report.executed.append(shard.key)
         if store is not None:
             store.write(record)
+        _settle(index, shard, "ran", record["elapsed_seconds"], attempts)
         if progress is not None:
             progress(shard, "ran", record["elapsed_seconds"], record)
 
     def _serve_cached(index: int, shard: Shard, record: Dict[str, object]) -> None:
         records[index] = record
         report.cached.append(shard.key)
+        _settle(index, shard, "cached", 0.0, 0)
         if progress is not None:
             progress(shard, "cached", 0.0, record)
 
@@ -498,6 +549,7 @@ def run_shards(
         failures[work.index] = ShardFailure(
             shard=work.shard, attempts=attempts, error=error
         )
+        _settle(work.index, work.shard, "failed", 0.0, attempts)
         _warn(
             f"shard {work.shard.experiment_id}/{work.shard.profile} failed "
             f"permanently after {attempts} attempt(s): {error}"
@@ -508,6 +560,15 @@ def run_shards(
             )
 
     def _note_retry(work: _Work, error: str) -> None:
+        nonlocal retries
+        retries += 1
+        telemetry.add_counter(
+            "runner.retry",
+            experiment=work.shard.experiment_id,
+            profile=work.shard.profile,
+            key=work.shard.key,
+            error=error,
+        )
         _warn(
             f"shard {work.shard.experiment_id}/{work.shard.profile} attempt "
             f"{work.attempts + work.deaths} failed ({error}); retrying"
@@ -537,7 +598,12 @@ def run_shards(
                 _note_retry(work, message)
                 time.sleep(_backoff_delay(work))
             else:
-                _finish(work.index, work.shard, record)
+                _finish(
+                    work.index,
+                    work.shard,
+                    record,
+                    attempts=work.attempts + work.deaths + 1,
+                )
                 return
 
     def _run_pool(pending: deque) -> None:
@@ -627,7 +693,12 @@ def run_shards(
                     except Exception as error:  # noqa: BLE001 - budgeted above
                         _attempt_failed(work, f"{type(error).__name__}: {error}")
                     else:
-                        _finish(work.index, work.shard, record)
+                        _finish(
+                            work.index,
+                            work.shard,
+                            record,
+                            attempts=work.attempts + work.deaths + 1,
+                        )
                 now = time.monotonic()
                 expired = [
                     future
@@ -682,6 +753,17 @@ def run_shards(
     if len(report.records) + len(report.failed) != len(shards):  # pragma: no cover
         raise RuntimeError("runner lost a shard record")
     report.elapsed_seconds = time.perf_counter() - started
+    # Populated unconditionally -- the all-cached path (nothing executed) and
+    # the single-shard fast path get the same summary shape as a full pool run.
+    report.metrics = {
+        "shards": len(shards),
+        "ran": len(report.executed),
+        "cached": len(report.cached),
+        "failed": len(report.failed),
+        "retries": retries,
+        "elapsed_seconds": report.elapsed_seconds,
+        "shard_timings": [timings[index] for index in sorted(timings)],
+    }
     return report
 
 

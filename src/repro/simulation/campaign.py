@@ -29,9 +29,11 @@ interleaving -- exactly what the sharded runner's bit-parity contract needs.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro import telemetry
 from repro.exceptions import InvalidParameterError
 from repro.simulation.rerouting import masked_bfs_distances
 from repro.simulation.stats import derive_trial_seed, mean_interval, wilson_interval
@@ -190,13 +192,32 @@ def connectivity_campaign(
     points = []
     for point_index, fault_count in enumerate(fault_counts):
         disconnected = 0
-        for trial in range(trials):
-            rng = random.Random(
-                derive_trial_seed(seed, label, fault_count, point_index, trial)
-            )
-            faults = sample_fault_indices(rng, num_nodes, fault_count)
-            if not connected_under_alive_mask(topology, _alive_mask(num_nodes, faults)):
-                disconnected += 1
+        with telemetry.span(
+            "campaign.connectivity_point",
+            family=label,
+            num_nodes=num_nodes,
+            fault_count=fault_count,
+            trials=trials,
+        ) as sp:
+            for trial in range(trials):
+                rng = random.Random(
+                    derive_trial_seed(seed, label, fault_count, point_index, trial)
+                )
+                faults = sample_fault_indices(rng, num_nodes, fault_count)
+                if not connected_under_alive_mask(
+                    topology, _alive_mask(num_nodes, faults)
+                ):
+                    disconnected += 1
+            if telemetry.trace_enabled():
+                sp.add(disconnected=disconnected)
+                elapsed = time.perf_counter() - sp.started
+                if elapsed > 0:
+                    telemetry.set_gauge(
+                        "campaign.trials_per_second",
+                        round(trials / elapsed, 3),
+                        family=label,
+                        fault_count=fault_count,
+                    )
         p_hat, low, high = wilson_interval(disconnected, trials)
         points.append(
             ConnectivityPoint(
@@ -335,25 +356,48 @@ def stretch_campaign(
         stretches: List[float] = []
         pairs = 0
         unreachable = 0
-        for trial in range(trials):
-            rng = random.Random(
-                derive_trial_seed(seed, label, fault_count, point_index, trial)
-            )
-            faults = sample_fault_indices(rng, num_nodes, fault_count)
-            alive = _alive_mask(num_nodes, faults)
-            fault_set = set(faults)
-            survivors = [i for i in range(num_nodes) if i not in fault_set]
-            source = rng.choice(survivors)
-            candidates = [i for i in survivors if i != source]
-            targets = rng.sample(candidates, min(pairs_per_trial, len(candidates)))
-            healthy = bfs_distances_from(topology, topology.node_from_index(source))
-            detour = masked_bfs_distances(topology, source, alive)
-            for target in targets:
-                pairs += 1
-                if detour[target] < 0:
-                    unreachable += 1
-                else:
-                    stretches.append(float(detour[target]) / float(healthy[target]))
+        with telemetry.span(
+            "campaign.stretch_point",
+            family=label,
+            num_nodes=num_nodes,
+            fault_count=fault_count,
+            trials=trials,
+        ) as sp:
+            for trial in range(trials):
+                rng = random.Random(
+                    derive_trial_seed(seed, label, fault_count, point_index, trial)
+                )
+                faults = sample_fault_indices(rng, num_nodes, fault_count)
+                alive = _alive_mask(num_nodes, faults)
+                fault_set = set(faults)
+                survivors = [i for i in range(num_nodes) if i not in fault_set]
+                source = rng.choice(survivors)
+                candidates = [i for i in survivors if i != source]
+                targets = rng.sample(
+                    candidates, min(pairs_per_trial, len(candidates))
+                )
+                healthy = bfs_distances_from(
+                    topology, topology.node_from_index(source)
+                )
+                detour = masked_bfs_distances(topology, source, alive)
+                for target in targets:
+                    pairs += 1
+                    if detour[target] < 0:
+                        unreachable += 1
+                    else:
+                        stretches.append(
+                            float(detour[target]) / float(healthy[target])
+                        )
+            if telemetry.trace_enabled():
+                sp.add(pairs=pairs, unreachable=unreachable)
+                elapsed = time.perf_counter() - sp.started
+                if elapsed > 0:
+                    telemetry.set_gauge(
+                        "campaign.trials_per_second",
+                        round(trials / elapsed, 3),
+                        family=label,
+                        fault_count=fault_count,
+                    )
         if stretches:
             mean, low, high = mean_interval(stretches)
             worst = max(stretches)

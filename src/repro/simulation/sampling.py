@@ -35,9 +35,11 @@ must bracket.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro import telemetry
 from repro.exceptions import InvalidParameterError
 from repro.simulation.stats import (
     Z_95,
@@ -190,11 +192,27 @@ def sampled_pair_distances(
 
     chunk = resolve_chunk_nodes(chunk_nodes)
     distances = _np.empty(samples, dtype=_np.int64)
-    for start in range(0, samples, chunk):
-        stop = min(start + chunk, samples)
-        distances[start:stop] = _pair_block_distances(
-            family, size, sources[start:stop], targets[start:stop]
-        )
+    with telemetry.span(
+        "sampling.pairs",
+        family=family,
+        size=size,
+        samples=samples,
+        chunks=-(-samples // chunk),
+    ) as sp:
+        for start in range(0, samples, chunk):
+            stop = min(start + chunk, samples)
+            distances[start:stop] = _pair_block_distances(
+                family, size, sources[start:stop], targets[start:stop]
+            )
+        if telemetry.trace_enabled():
+            elapsed = time.perf_counter() - sp.started
+            if elapsed > 0:
+                telemetry.set_gauge(
+                    "sampling.samples_per_second",
+                    round(samples / elapsed, 3),
+                    family=family,
+                    size=size,
+                )
     return distances
 
 

@@ -46,10 +46,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.backend import TABLE_CACHE_ENV, resolve_chunk_nodes
 from repro.exceptions import InvalidParameterError
 
@@ -75,8 +75,9 @@ __all__ = [
 _META_SUFFIX = ".meta.json"
 _FILE_PREFIX = "moves__"
 
-#: Builds larger than this announce themselves on stderr (a degree-11 build
-#: writes gigabytes and takes minutes; test-sized builds stay silent).
+#: Builds larger than this announce themselves through the ``repro.tables``
+#: logger (visible on stderr from the CLI -- a degree-11 build writes
+#: gigabytes and takes minutes; test-sized builds stay silent).
 _LARGE_BUILD_NOTICE_BYTES = 256 * 2**20
 
 
@@ -166,6 +167,9 @@ def build_move_tables(
     generators = _check_buildable(generators, n)
     path = table_path(generators, n, cache_dir)
     if path.exists() and not force:
+        telemetry.add_counter(
+            "tables.cache_hit", n=n, bytes=path.stat().st_size, file=path.name
+        )
         return path
     path.parent.mkdir(parents=True, exist_ok=True)
 
@@ -173,30 +177,44 @@ def build_move_tables(
     width = len(generators)
     nbytes = total * width * 8
     if nbytes >= _LARGE_BUILD_NOTICE_BYTES:
-        print(
-            f"[repro.tables] building {path.name}: {total} x {width} int64 "
-            f"({nbytes / 2**30:.1f} GiB) under {path.parent}",
-            file=sys.stderr,
+        # Through the telemetry logging shim (NullHandler by default): the
+        # CLI's stderr handler renders this as the historical
+        # "[repro.tables] building ..." line, libraries stay silent.
+        telemetry.get_logger("tables").info(
+            "building %s: %d x %d int64 (%.1f GiB) under %s",
+            path.name,
+            total,
+            width,
+            nbytes / 2**30,
+            path.parent,
         )
 
     chunk = resolve_chunk_nodes(chunk_nodes)
     columns = [list(g) for g in generators]
     tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-    try:
-        out = _np.lib.format.open_memmap(
-            tmp, mode="w+", dtype=_np.int64, shape=(total, width)
-        )
-        for start in range(0, total, chunk):
-            stop = min(start + chunk, total)
-            block = permutations_slice(start, stop, n)
-            for g, column in enumerate(columns):
-                out[start:stop, g] = ranks_of(block[:, column])
-        out.flush()
-        del out
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():  # pragma: no cover - crash-path hygiene
-            tmp.unlink()
+    with telemetry.span(
+        "tables.build",
+        n=n,
+        num_generators=width,
+        bytes=nbytes,
+        chunks=-(-total // chunk),
+        file=path.name,
+    ):
+        try:
+            out = _np.lib.format.open_memmap(
+                tmp, mode="w+", dtype=_np.int64, shape=(total, width)
+            )
+            for start in range(0, total, chunk):
+                stop = min(start + chunk, total)
+                block = permutations_slice(start, stop, n)
+                for g, column in enumerate(columns):
+                    out[start:stop, g] = ranks_of(block[:, column])
+            out.flush()
+            del out
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - crash-path hygiene
+                tmp.unlink()
 
     meta = {
         "schema": 1,
@@ -227,6 +245,9 @@ def open_move_tables(
     """
     generators = _check_buildable(generators, n)
     path = build_move_tables(generators, n, cache_dir=cache_dir)
+    telemetry.add_counter(
+        "tables.open", n=n, bytes=path.stat().st_size, file=path.name
+    )
     return _np.lib.format.open_memmap(path, mode="r")
 
 

@@ -1,0 +1,258 @@
+"""Load, validate and aggregate JSONL run traces.
+
+A trace written under ``REPRO_TRACE`` is explainable after the fact:
+``repro-star trace summarize PATH`` renders per-span aggregate tables
+(count / total / p50 / p99), counter totals (with byte sums where the
+events carry a ``bytes`` attribute) and gauge ranges, so a campaign or bench
+run can be profiled from its trace alone -- no re-run needed.
+
+:func:`validate_trace_events` enforces the event schema documented in
+:mod:`repro.telemetry.recorder` and is what the CI trace-smoke step runs over
+a real campaign's trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.exceptions import TraceError
+
+__all__ = [
+    "EVENT_TYPES",
+    "load_trace",
+    "validate_trace_events",
+    "summarize_trace",
+    "render_summary",
+]
+
+#: The event discriminators a trace line may carry.
+EVENT_TYPES = ("span", "counter", "gauge")
+
+#: Keys required of every event, regardless of type.
+_COMMON_KEYS = ("event", "name", "ts", "pid", "attrs")
+
+
+def load_trace(path) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file into its event list.
+
+    Raises
+    ------
+    TraceError
+        If the file is missing or any line is not a JSON object.  Blank
+        lines are tolerated (a crashed writer may leave a trailing one).
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise TraceError(f"no trace file at {path}")
+    events: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceError(
+                    f"{path}:{lineno}: not valid JSON: {error}"
+                ) from error
+            if not isinstance(event, dict):
+                raise TraceError(
+                    f"{path}:{lineno}: trace event is "
+                    f"{type(event).__name__}, not an object"
+                )
+            events.append(event)
+    return events
+
+
+def validate_trace_events(events: Sequence[Mapping[str, object]]) -> None:
+    """Check every event against the recorder's schema.
+
+    Raises
+    ------
+    TraceError
+        On the first event missing a required key, carrying an unknown
+        ``event`` type, or holding a wrongly typed field.
+    """
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        missing = [key for key in _COMMON_KEYS if key not in event]
+        if missing:
+            raise TraceError(f"{where}: missing keys: {', '.join(missing)}")
+        kind = event["event"]
+        if kind not in EVENT_TYPES:
+            raise TraceError(
+                f"{where}: unknown event type {kind!r} (expected one of {EVENT_TYPES})"
+            )
+        if not isinstance(event["name"], str) or not event["name"]:
+            raise TraceError(f"{where}: name must be a non-empty string")
+        if not isinstance(event["pid"], int):
+            raise TraceError(f"{where}: pid must be an integer")
+        if not isinstance(event["ts"], (int, float)):
+            raise TraceError(f"{where}: ts must be a number")
+        if not isinstance(event["attrs"], Mapping):
+            raise TraceError(f"{where}: attrs must be an object")
+        if kind == "span":
+            seconds = event.get("seconds")
+            if not isinstance(seconds, (int, float)) or seconds < 0:
+                raise TraceError(
+                    f"{where}: span requires a non-negative numeric 'seconds'"
+                )
+        else:
+            if not isinstance(event.get("value"), (int, float)):
+                raise TraceError(f"{where}: {kind} requires a numeric 'value'")
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted *sorted_values* (non-empty)."""
+    rank = max(0, min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def summarize_trace(events: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """Aggregate a validated event list into per-name statistics.
+
+    Returns a JSON-safe dict::
+
+        {"events": N,
+         "pids": [...],
+         "spans":    {name: {count, total_seconds, min, p50, p99, max}},
+         "counters": {name: {count, total, bytes}},     # bytes only if seen
+         "gauges":   {name: {count, last, min, max, mean}}}
+
+    Span names aggregate across processes; the per-pid breakdown is left to
+    the raw trace (every event carries its ``pid``).
+    """
+    span_seconds: Dict[str, List[float]] = {}
+    counters: Dict[str, Dict[str, float]] = {}
+    gauges: Dict[str, List[float]] = {}
+    pids = set()
+    for event in events:
+        pids.add(event["pid"])
+        name = event["name"]
+        if event["event"] == "span":
+            span_seconds.setdefault(name, []).append(float(event["seconds"]))
+        elif event["event"] == "counter":
+            entry = counters.setdefault(name, {"count": 0, "total": 0.0})
+            entry["count"] += 1
+            entry["total"] += float(event["value"])
+            size = event["attrs"].get("bytes")
+            if isinstance(size, (int, float)):
+                entry["bytes"] = entry.get("bytes", 0.0) + float(size)
+        else:
+            gauges.setdefault(name, []).append(float(event["value"]))
+
+    spans_summary = {}
+    for name, values in sorted(span_seconds.items()):
+        ordered = sorted(values)
+        spans_summary[name] = {
+            "count": len(ordered),
+            "total_seconds": round(sum(ordered), 9),
+            "min": ordered[0],
+            "p50": _percentile(ordered, 0.50),
+            "p99": _percentile(ordered, 0.99),
+            "max": ordered[-1],
+        }
+    counters_summary = {}
+    for name, entry in sorted(counters.items()):
+        summary = {"count": int(entry["count"]), "total": entry["total"]}
+        if "bytes" in entry:
+            summary["bytes"] = entry["bytes"]
+        counters_summary[name] = summary
+    gauges_summary = {}
+    for name, values in sorted(gauges.items()):
+        gauges_summary[name] = {
+            "count": len(values),
+            "last": values[-1],
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+        }
+    return {
+        "events": len(events),
+        "pids": sorted(pids),
+        "spans": spans_summary,
+        "counters": counters_summary,
+        "gauges": gauges_summary,
+    }
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    widths = [
+        max(len(headers[col]), max((len(row[col]) for row in rows), default=0))
+        for col in range(len(headers))
+    ]
+    lines = ["  ".join(f"{headers[col]:{widths[col]}s}" for col in range(len(headers)))]
+    for row in rows:
+        lines.append("  ".join(f"{row[col]:{widths[col]}s}" for col in range(len(widths))))
+    return lines
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.6f}"
+
+
+def render_summary(summary: Mapping[str, object], *, title: Optional[str] = None) -> str:
+    """Render a :func:`summarize_trace` result as aligned text tables."""
+    lines: List[str] = []
+    if title:
+        lines += [title, ""]
+    lines.append(
+        f"{summary['events']} event(s) from {len(summary['pids'])} process(es)"
+    )
+    spans = summary["spans"]
+    if spans:
+        lines += ["", "spans:"]
+        rows = [
+            [
+                name,
+                str(stats["count"]),
+                _seconds(stats["total_seconds"]),
+                _seconds(stats["p50"]),
+                _seconds(stats["p99"]),
+                _seconds(stats["max"]),
+            ]
+            for name, stats in spans.items()
+        ]
+        lines += [
+            "  " + line
+            for line in _table(
+                ("span", "count", "total (s)", "p50 (s)", "p99 (s)", "max (s)"), rows
+            )
+        ]
+    counters = summary["counters"]
+    if counters:
+        lines += ["", "counters:"]
+        rows = []
+        for name, stats in counters.items():
+            size = stats.get("bytes")
+            rows.append(
+                [
+                    name,
+                    str(stats["count"]),
+                    f"{stats['total']:g}",
+                    f"{size:.0f}" if size is not None else "-",
+                ]
+            )
+        lines += ["  " + line for line in _table(("counter", "count", "total", "bytes"), rows)]
+    gauges = summary["gauges"]
+    if gauges:
+        lines += ["", "gauges:"]
+        rows = [
+            [
+                name,
+                str(stats["count"]),
+                f"{stats['last']:g}",
+                f"{stats['min']:g}",
+                f"{stats['max']:g}",
+                f"{stats['mean']:g}",
+            ]
+            for name, stats in gauges.items()
+        ]
+        lines += [
+            "  " + line
+            for line in _table(("gauge", "count", "last", "min", "max", "mean"), rows)
+        ]
+    return "\n".join(lines) + "\n"

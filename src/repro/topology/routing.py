@@ -65,6 +65,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Sequence, Tuple
 
+from repro import telemetry
 from repro.exceptions import InvalidParameterError
 from repro.permutations.permutation import is_permutation
 
@@ -225,16 +226,24 @@ def star_distances_from(origin: Sequence[int], *, chunk_nodes=None):
         chunk = resolve_chunk_nodes(chunk_nodes)
         source_columns = list(source)
         distances = _np.empty(total, dtype=_np.int64)
-        for start in range(0, total, chunk):
-            stop = min(start + chunk, total)
-            perms = perm_block(start, stop)
-            # positions[r, s] = index of symbol s in row r
-            positions = _np.argsort(perms, axis=1)
-            mapping = positions[:, source_columns].astype(_np.int64)
-            if kernel is not None:
-                distances[start:stop] = kernel(mapping)
-            else:
-                distances[start:stop] = _cycle_structure_distances(mapping)
+        with telemetry.span(
+            "kernel.distance_sweep",
+            degree=n,
+            num_nodes=total,
+            chunks=-(-total // chunk),
+            backend="numba" if kernel is not None else "numpy",
+            tier="dense" if n <= MAX_DENSE_DEGREE else "streamed",
+        ):
+            for start in range(0, total, chunk):
+                stop = min(start + chunk, total)
+                perms = perm_block(start, stop)
+                # positions[r, s] = index of symbol s in row r
+                positions = _np.argsort(perms, axis=1)
+                mapping = positions[:, source_columns].astype(_np.int64)
+                if kernel is not None:
+                    distances[start:stop] = kernel(mapping)
+                else:
+                    distances[start:stop] = _cycle_structure_distances(mapping)
         return distances
 
     from itertools import permutations as _perms
@@ -636,45 +645,66 @@ def index_bfs_distances(
     from repro.backend import resolve_chunk_nodes, use_numba
 
     source = as_neighbor_source(table, num_nodes)
+    sp = telemetry.span(
+        "kernel.bfs",
+        num_nodes=int(num_nodes),
+        neighbor_source="table" if source.table is not None else "implicit",
+        masked=alive_mask is not None,
+    )
     if use_numba() and source.table is not None:
-        from repro._numba_kernels import bfs_distances_kernel
+        with sp:
+            sp.add(backend="numba", mode="whole_graph")
+            from repro._numba_kernels import bfs_distances_kernel
 
-        mask = (
-            alive_mask
-            if alive_mask is not None
-            else _np.ones(num_nodes, dtype=bool)
-        )
-        return bfs_distances_kernel(
-            _np.asarray(source.table),
-            int(origin_index),
-            _np.asarray(mask, dtype=bool),
-        )
+            mask = (
+                alive_mask
+                if alive_mask is not None
+                else _np.ones(num_nodes, dtype=bool)
+            )
+            distances = bfs_distances_kernel(
+                _np.asarray(source.table),
+                int(origin_index),
+                _np.asarray(mask, dtype=bool),
+            )
+            if telemetry.trace_enabled():
+                sp.add(reached=int((distances >= 0).sum()))
+            return distances
 
     chunk = resolve_chunk_nodes(chunk_nodes)
-    distances = _np.full(num_nodes, -1, dtype=_np.int64)
-    distances[origin_index] = 0
-    frontier = _np.array([origin_index], dtype=_np.int64)
-    level = 0
-    while frontier.size:
-        level += 1
-        found = False
-        for start in range(0, frontier.size, chunk):
-            block = frontier[start : start + chunk]
-            candidates = source.neighbor_block(block).reshape(-1)
-            candidates = candidates[candidates >= 0]
-            if alive_mask is not None:
-                candidates = candidates[
-                    alive_mask[candidates] & (distances[candidates] < 0)
-                ]
-            else:
-                candidates = candidates[distances[candidates] < 0]
-            if candidates.size:
-                distances[candidates] = level
-                found = True
-        if not found:
-            break
-        frontier = _np.flatnonzero(distances == level)
-    return distances
+    with sp:
+        sp.add(backend="numpy", mode="frontier", chunk_nodes=chunk)
+        blocks = 0
+        distances = _np.full(num_nodes, -1, dtype=_np.int64)
+        distances[origin_index] = 0
+        frontier = _np.array([origin_index], dtype=_np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            found = False
+            for start in range(0, frontier.size, chunk):
+                block = frontier[start : start + chunk]
+                blocks += 1
+                candidates = source.neighbor_block(block).reshape(-1)
+                candidates = candidates[candidates >= 0]
+                if alive_mask is not None:
+                    candidates = candidates[
+                        alive_mask[candidates] & (distances[candidates] < 0)
+                    ]
+                else:
+                    candidates = candidates[distances[candidates] < 0]
+                if candidates.size:
+                    distances[candidates] = level
+                    found = True
+            if not found:
+                break
+            frontier = _np.flatnonzero(distances == level)
+        if telemetry.trace_enabled():
+            sp.add(
+                chunks=blocks,
+                levels=level,
+                reached=int((distances >= 0).sum()),
+            )
+        return distances
 
 
 def _index_sweep_from(topology: "Topology", origin_index: int, *, chunk_nodes=None):
