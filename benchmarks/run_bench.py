@@ -20,6 +20,15 @@ regressed by more than ``--regression-threshold`` (default 20%) -- the start
 of perf CI.  ``--json PATH`` additionally archives the structured comparison
 (per-row old/new/delta and the regression list) for CI artifacts.
 
+``--runs N`` executes the whole suite N times and keeps, per benchmark, the
+*minimum* of the per-run medians.  On shared or virtualised hosts a single
+pass rides whatever contention window it lands in -- minutes-long noisy-
+neighbour episodes inflate entire modules by 20-50% and single-shot
+(``pedantic``) rows by more -- while the per-row minimum across a few runs
+approaches the machine's actual floor and makes snapshots from different
+days comparable again.  The snapshot records ``runs`` so the methodology is
+visible in the trajectory.
+
 Any extra arguments are forwarded to pytest (e.g. ``-k``, ``-x``).
 """
 
@@ -116,6 +125,27 @@ def trim(raw: dict) -> dict:
         "numpy": numpy_version,
         "medians": dict(sorted(medians.items())),
     }
+
+
+def merge_min(snapshots: list) -> dict:
+    """Fold N same-suite snapshots into one, keeping the per-row minimum median.
+
+    The minimum -- not the mean -- because benchmark noise on shared hosts is
+    strictly additive: contention can only make a measurement slower, so the
+    smallest observed median is the best estimate of the machine's floor.
+    Rows missing from some runs (e.g. a skipped optional backend) keep the
+    minimum over the runs that have them.
+    """
+    merged = dict(snapshots[0])
+    medians = {}
+    for snapshot in snapshots:
+        for name, entry in snapshot["medians"].items():
+            best = medians.get(name)
+            if best is None or entry["median_seconds"] < best["median_seconds"]:
+                medians[name] = entry
+    merged["medians"] = dict(sorted(medians.items()))
+    merged["runs"] = len(snapshots)
+    return merged
 
 
 def latest_snapshot_path(exclude: Path = None) -> Path:
@@ -284,6 +314,13 @@ def main() -> None:
         "old/new/delta%% and the regression list) as JSON to PATH, so CI "
         "can archive it",
     )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=1,
+        help="execute the suite this many times and keep the per-benchmark "
+        "minimum median (noise-floor estimate on shared hosts; default 1)",
+    )
     args, pytest_args = parser.parse_known_args()
     if args.json is not None and args.compare is None:
         parser.error("--json requires --compare")
@@ -302,7 +339,14 @@ def main() -> None:
         with open(baseline_path) as handle:
             baseline = json.load(handle)
 
-    snapshot = trim(run_benchmarks(pytest_args))
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+    passes = []
+    for index in range(args.runs):
+        if args.runs > 1:
+            print(f"benchmark pass {index + 1}/{args.runs}")
+        passes.append(trim(run_benchmarks(pytest_args)))
+    snapshot = passes[0] if args.runs == 1 else merge_min(passes)
     output = args.output or REPO_ROOT / f"BENCH_{snapshot['date']}.json"
     with open(output, "w") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=False)

@@ -26,9 +26,16 @@ resume *correctness* of the runner is covered by the test-suite either way.
 import pytest
 
 from repro.experiments.artifacts import ArtifactStore
+from repro.experiments.registry import list_experiments
 from repro.experiments.runner import plan_shards, run_shards
 
 pytestmark = pytest.mark.heavy_bench
+
+#: The workload is "the whole registry", which grows PR over PR -- so the
+#: registry size is baked into the benchmark id.  Cross-snapshot comparison
+#: then pairs only runs of the *same* workload; a grown registry shows up as
+#: a new row instead of a phantom regression of the old one.
+REGISTRY_SIZE = len(list_experiments())
 
 
 @pytest.fixture(scope="module")
@@ -42,22 +49,28 @@ def fast_shards():
 
 
 @pytest.mark.benchmark(group="runner-run-all-fast")
-def test_run_all_fast_serial(benchmark, fast_shards):
+@pytest.mark.parametrize("registry_size", [REGISTRY_SIZE])
+def test_run_all_fast_serial(benchmark, fast_shards, registry_size):
     """Baseline: the serial reference engine (jobs=1, in-process)."""
+    assert len(fast_shards) == registry_size
     report = benchmark(lambda: run_shards(fast_shards, jobs=1))
     assert report.claims_hold() and len(report.records) == len(fast_shards)
 
 
 @pytest.mark.benchmark(group="runner-run-all-fast")
-def test_run_all_fast_jobs4(benchmark, fast_shards):
+@pytest.mark.parametrize("registry_size", [REGISTRY_SIZE])
+def test_run_all_fast_jobs4(benchmark, fast_shards, registry_size):
     """Sharded: 4 worker processes (includes pool startup + cache warm-up)."""
+    assert len(fast_shards) == registry_size
     report = benchmark(lambda: run_shards(fast_shards, jobs=4))
     assert report.claims_hold() and len(report.records) == len(fast_shards)
 
 
 @pytest.mark.benchmark(group="runner-store")
-def test_run_all_fast_cache_hit(benchmark, fast_shards, tmp_path_factory):
+@pytest.mark.parametrize("registry_size", [REGISTRY_SIZE])
+def test_run_all_fast_cache_hit(benchmark, fast_shards, tmp_path_factory, registry_size):
     """A fully cached re-run: every shard loads from the artifact store."""
+    assert len(fast_shards) == registry_size
     store = ArtifactStore(tmp_path_factory.mktemp("bench-store"))
     run_shards(fast_shards, store=store)
 

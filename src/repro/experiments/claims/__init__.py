@@ -26,6 +26,11 @@ SAMPLED-  Sampled S_n distance distribution past the table       ``exp_sampled_d
 DISTANCE  ceiling (closed-form pairs, 95% CIs)
 SAMPLED-  Sampled family comparison at matched sizes             ``exp_sampled_properties``
 PROPS...  (avg distance CIs, diameter lower bounds)
+SAMPLED-  Ball-local fault connectivity at S_13+ over the        ``exp_sampled_fault``
+FAULT     implicit backend (truncated-pair accounting)
+SAMPLED-  Ball-local rerouting stretch at S_13+ (zero-fault      ``exp_sampled_stretch``
+STRETCH   oracle, truncated-pair accounting)
+RANKING   Simultaneous rank CIs across families (csranks)        ``exp_ranking``
 ========  =====================================================  =========================
 """
 
@@ -45,6 +50,9 @@ from repro.experiments.claims import (  # noqa: F401 (re-exported for the regist
     exp_fault_stretch,
     exp_sampled_distance,
     exp_sampled_properties,
+    exp_sampled_fault,
+    exp_sampled_stretch,
+    exp_ranking,
 )
 
 __all__ = [
@@ -63,4 +71,7 @@ __all__ = [
     "exp_fault_stretch",
     "exp_sampled_distance",
     "exp_sampled_properties",
+    "exp_sampled_fault",
+    "exp_sampled_stretch",
+    "exp_ranking",
 ]

@@ -48,8 +48,11 @@ from repro.experiments.claims import (
     exp_lemma2_transposition_distance,
     exp_network_family,
     exp_optimal_dimension,
+    exp_ranking,
     exp_sampled_distance,
+    exp_sampled_fault,
     exp_sampled_properties,
+    exp_sampled_stretch,
     exp_sorting,
     exp_star_properties,
     exp_star_vs_hypercube,
@@ -304,6 +307,39 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             exp_sampled_properties,
             fast={"degrees": (4,), "samples": 2_000},
             heavy={"degrees": (9, 12), "samples": 1_000_000},
+        ),
+        _spec(
+            "SAMPLED-FAULT",
+            "Sampled ball-local fault connectivity at S_13+ (implicit backend)",
+            exp_sampled_fault,
+            fast={
+                "sizes": (13,),
+                "fault_counts": (0, 6),
+                "trials": 4,
+                "pairs_per_trial": 3,
+                "depth": 3,
+            },
+            heavy={"sizes": (13, 14), "trials": 30, "pairs_per_trial": 6},
+        ),
+        _spec(
+            "SAMPLED-STRETCH",
+            "Sampled ball-local rerouting stretch at S_13+ (implicit backend)",
+            exp_sampled_stretch,
+            fast={
+                "sizes": (13,),
+                "fault_counts": (0, 6),
+                "trials": 4,
+                "pairs_per_trial": 3,
+                "depth": 3,
+            },
+            heavy={"sizes": (13, 14), "trials": 30, "pairs_per_trial": 6},
+        ),
+        _spec(
+            "RANKING",
+            "Simultaneous rank CIs across families (csranks methodology)",
+            exp_ranking,
+            fast={"sizes": (5,), "samples": 4_000},
+            heavy={"sizes": (8, 9), "samples": 500_000, "exact_check_max": 9},
         ),
     )
 }

@@ -310,9 +310,11 @@ def require_table_degree(n: int, *, dense: bool = False) -> None:
             f"even memmap-streamed from the on-disk cache, got {n}; beyond "
             f"the table ceiling use the table-free implicit adjacency "
             f"backend (REPRO_NEIGHBORS=implicit, selected automatically by "
-            f"Topology.neighbor_source) or the sampled estimators in "
+            f"Topology.neighbor_source), the sampled estimators in "
             f"repro.simulation.sampling (SAMPLED-DISTANCE / "
-            f"SAMPLED-PROPERTIES experiments)"
+            f"SAMPLED-PROPERTIES experiments), or the bounded-ball sampled "
+            f"campaigns in repro.simulation.sampled_campaign (SAMPLED-FAULT "
+            f"/ SAMPLED-STRETCH experiments)"
         )
     if not within_table_degree(n, dense=dense):
         raise TableDegreeError(

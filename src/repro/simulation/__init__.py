@@ -19,11 +19,15 @@ Layout:
 * :mod:`repro.simulation.sampling` -- seeded sampled distance statistics
   (mean with 95% CI, histogram with Wilson buckets, diameter lower bound)
   from closed-form distances on random node pairs, the S_13+ path past the
-  table ceiling.
+  table ceiling, plus the truncated-BFS pancake estimator;
+* :mod:`repro.simulation.sampled_campaign` -- ball-local fault and
+  rerouting-stretch campaigns over bounded-depth BFS balls on the implicit
+  backend, with explicit truncated-pair accounting -- the S_13+ campaign
+  layer.
 
-The FAULT-CONNECTIVITY, FAULT-STRETCH and SAMPLED-* registry experiments are
-thin tables over these functions; everything here is importable and testable
-without the experiment stack.
+The FAULT-CONNECTIVITY, FAULT-STRETCH, SAMPLED-* and RANKING registry
+experiments are thin tables over these functions; everything here is
+importable and testable without the experiment stack.
 """
 
 from repro.simulation.campaign import (
@@ -38,20 +42,35 @@ from repro.simulation.campaign import (
     stretch_campaign,
 )
 from repro.simulation.rerouting import masked_bfs_distances, masked_route
+from repro.simulation.sampled_campaign import (
+    SAMPLED_CAMPAIGN_FAMILIES,
+    SampledFaultPoint,
+    sampled_campaign_instances,
+    sampled_fault_campaign,
+)
 from repro.simulation.sampling import (
     SAMPLING_FAMILIES,
+    PancakeDistanceEstimate,
     SampledDistanceEstimate,
+    default_pancake_depth,
     exact_average_distance,
     family_diameter_formula,
     family_num_nodes,
+    pancake_relative_ranks,
     sampled_distance_estimate,
     sampled_pair_distances,
+    sampled_pancake_estimate,
 )
 from repro.simulation.stats import (
     Z_95,
+    RankInterval,
     derive_trial_seed,
     mean_interval,
     moments_interval,
+    normal_cdf,
+    normal_quantile,
+    rank_intervals,
+    simultaneous_intervals,
     wilson_interval,
 )
 
@@ -67,16 +86,29 @@ __all__ = [
     "stretch_campaign",
     "masked_bfs_distances",
     "masked_route",
+    "SAMPLED_CAMPAIGN_FAMILIES",
+    "SampledFaultPoint",
+    "sampled_campaign_instances",
+    "sampled_fault_campaign",
     "SAMPLING_FAMILIES",
+    "PancakeDistanceEstimate",
     "SampledDistanceEstimate",
+    "default_pancake_depth",
     "exact_average_distance",
     "family_diameter_formula",
     "family_num_nodes",
+    "pancake_relative_ranks",
     "sampled_distance_estimate",
     "sampled_pair_distances",
+    "sampled_pancake_estimate",
     "Z_95",
+    "RankInterval",
     "derive_trial_seed",
     "mean_interval",
     "moments_interval",
+    "normal_cdf",
+    "normal_quantile",
+    "rank_intervals",
+    "simultaneous_intervals",
     "wilson_interval",
 ]

@@ -63,7 +63,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.exceptions import InvalidParameterError
@@ -89,6 +89,8 @@ __all__ = [
     "ImplicitNeighborSource",
     "as_neighbor_source",
     "permutation_neighbor_source",
+    "BoundedBall",
+    "bounded_bfs_ball",
     "index_bfs_distances",
     "bfs_distances_from",
     "distance_matrix",
@@ -705,6 +707,258 @@ def index_bfs_distances(
                 reached=int((distances >= 0).sum()),
             )
         return distances
+
+
+@dataclass(frozen=True)
+class BoundedBall:
+    """The depth-``max_depth`` BFS ball of one origin, as sparse arrays.
+
+    The return shape of :func:`bounded_bfs_ball` -- the whole-graph
+    ``distances`` array of :func:`index_bfs_distances` does not exist at
+    S_13+ (6.2 billion int64 entries), so the bounded sweep reports only the
+    nodes it actually reached:
+
+    Attributes
+    ----------
+    nodes : int64 array
+        The reached node indices (origin included), **sorted ascending** so
+        membership queries are ``searchsorted`` lookups.
+    distances : int64 array
+        Aligned with ``nodes``: ``distances[i]`` is the BFS distance of
+        ``nodes[i]`` from the origin (exact -- a bounded BFS distance is a
+        true shortest-path distance for every node it reaches).
+    truncated : bool
+        ``True`` when the sweep stopped *because of the depth cap* with a
+        non-empty final frontier -- nodes beyond ``max_depth`` may exist and
+        their absence from the ball proves nothing.  ``False`` means the
+        frontier died before the cap: the ball is the origin's entire
+        connected component (minus excluded nodes) and absence **is**
+        disconnection.
+    levels : int
+        Deepest level actually populated (``<= max_depth``).
+    """
+
+    nodes: "object"
+    distances: "object"
+    truncated: bool
+    levels: int
+
+    @property
+    def size(self) -> int:
+        """Number of reached nodes, origin included."""
+        return int(len(self.nodes))
+
+    def distance_of(self, targets):
+        """Ball distances of *targets* (int64 array): ``-1`` when not in the ball.
+
+        A ``-1`` means "not reached within ``max_depth``"; whether that is
+        disconnection or truncation is the :attr:`truncated` flag's call.
+        """
+        if _np is None:
+            lookup = {int(n): int(d) for n, d in zip(self.nodes, self.distances)}
+            return [lookup.get(int(t), -1) for t in targets]
+        targets = _np.asarray(targets, dtype=_np.int64)
+        positions = _np.searchsorted(self.nodes, targets)
+        positions = _np.minimum(positions, len(self.nodes) - 1)
+        found = self.nodes[positions] == targets
+        out = _np.full(targets.shape, -1, dtype=_np.int64)
+        out[found] = self.distances[positions[found]]
+        return out
+
+
+def _in_sorted(values, sorted_array):
+    """Boolean mask: which *values* occur in *sorted_array* (both int64)."""
+    if sorted_array.size == 0:
+        return _np.zeros(values.shape, dtype=bool)
+    positions = _np.searchsorted(sorted_array, values)
+    positions = _np.minimum(positions, sorted_array.size - 1)
+    return sorted_array[positions] == values
+
+
+def bounded_bfs_ball(
+    source,
+    origin_index: int,
+    *,
+    max_depth: int,
+    excluded=None,
+    chunk_nodes=None,
+) -> BoundedBall:
+    """Truncated frontier BFS: the depth-capped ball around *origin_index*.
+
+    The depth-capped entry point of the sampled S_13+ campaigns
+    (:mod:`repro.simulation.sampled_campaign`): where
+    :func:`index_bfs_distances` allocates a whole-graph distances array,
+    this sweep touches **only the ball it reaches** -- visited bookkeeping is
+    a sorted int64 array that grows with the ball, never with ``n!`` -- so it
+    runs on the table-free implicit source at any int64-rank degree.
+
+    Parameters
+    ----------
+    source : NeighborSource or adjacency table
+        Where neighbour blocks come from (:func:`as_neighbor_source`); pass
+        an :class:`ImplicitNeighborSource` for the table-free path.
+    origin_index : int
+        Node index the ball grows from (must not be excluded).
+    max_depth : int
+        Inclusive BFS depth cap; level ``max_depth`` nodes are still
+        reported, the frontier is simply not expanded past them.
+    excluded : sorted int64 array, optional
+        Impassable node indices (the campaign's fault set), **sorted
+        ascending**.  Excluded nodes are never visited nor traversed --
+        exactly the alive-mask semantics of :func:`index_bfs_distances`,
+        expressed sparsely because a boolean mask over ``n!`` nodes cannot
+        exist at S_13+.
+    chunk_nodes : int, optional
+        Frontier block size (default ``REPRO_CHUNK_NODES``); any value
+        yields a bit-identical ball.
+
+    Returns
+    -------
+    BoundedBall
+        Sorted reached nodes, aligned exact distances, the ``truncated``
+        flag and the deepest populated level.  For a graph small enough to
+        sweep whole, ``max_depth >= eccentricity(origin)`` reproduces
+        :func:`index_bfs_distances` restricted to its reached set, bit for
+        bit (the parity tests hold the two against each other).
+    """
+    if max_depth < 0:
+        raise InvalidParameterError(f"max_depth must be >= 0, got {max_depth!r}")
+    if _np is None:
+        return _bounded_bfs_ball_python(source, origin_index, max_depth, excluded)
+    from repro.backend import resolve_chunk_nodes
+
+    neighbor_source = as_neighbor_source(source)
+    num_nodes = neighbor_source.num_nodes
+    if not 0 <= origin_index < num_nodes:
+        raise InvalidParameterError(
+            f"origin index {origin_index!r} outside [0, {num_nodes})"
+        )
+    if excluded is None:
+        excluded = _np.empty(0, dtype=_np.int64)
+    else:
+        excluded = _np.asarray(excluded, dtype=_np.int64)
+    if _in_sorted(_np.asarray([origin_index], dtype=_np.int64), excluded)[0]:
+        raise InvalidParameterError(
+            f"origin index {origin_index} is excluded; balls grow from survivors"
+        )
+    chunk = resolve_chunk_nodes(chunk_nodes)
+    with telemetry.span(
+        "kernel.bounded_bfs",
+        num_nodes=int(num_nodes),
+        neighbor_source="table" if neighbor_source.table is not None else "implicit",
+        max_depth=int(max_depth),
+        excluded=int(excluded.size),
+    ) as sp:
+        visited = _np.asarray([origin_index], dtype=_np.int64)
+        level_arrays = [visited]
+        level_sizes = [1]
+        frontier = visited
+        truncated = False
+        level = 0
+        while frontier.size and level < max_depth:
+            level += 1
+            blocks = []
+            for start in range(0, frontier.size, chunk):
+                candidates = neighbor_source.neighbor_block(
+                    frontier[start : start + chunk]
+                ).reshape(-1)
+                blocks.append(candidates[candidates >= 0])
+            candidates = _np.unique(_np.concatenate(blocks))
+            keep = ~_in_sorted(candidates, visited)
+            if excluded.size:
+                keep &= ~_in_sorted(candidates, excluded)
+            frontier = candidates[keep]
+            if frontier.size:
+                level_arrays.append(frontier)
+                level_sizes.append(int(frontier.size))
+                visited = _np.sort(_np.concatenate([visited, frontier]))
+            else:
+                level -= 1
+                break
+        if level == max_depth and frontier.size:
+            # The cap stopped the sweep, not the graph: expand the last
+            # frontier one probe level to learn whether anything lies beyond.
+            unknown = []
+            for start in range(0, frontier.size, chunk):
+                candidates = neighbor_source.neighbor_block(
+                    frontier[start : start + chunk]
+                ).reshape(-1)
+                unknown.append(candidates[candidates >= 0])
+            candidates = _np.unique(_np.concatenate(unknown))
+            keep = ~_in_sorted(candidates, visited)
+            if excluded.size:
+                keep &= ~_in_sorted(candidates, excluded)
+            truncated = bool(candidates[keep].size)
+        nodes = _np.concatenate(level_arrays)
+        distances = _np.repeat(
+            _np.arange(len(level_sizes), dtype=_np.int64), level_sizes
+        )
+        order = _np.argsort(nodes)
+        ball = BoundedBall(
+            nodes=nodes[order],
+            distances=distances[order],
+            truncated=truncated,
+            levels=level,
+        )
+        if telemetry.trace_enabled():
+            sp.add(reached=ball.size, levels=level, truncated=truncated)
+        return ball
+
+
+def _bounded_bfs_ball_python(source, origin_index, max_depth, excluded):
+    """Pure-Python :func:`bounded_bfs_ball` (tuple fallback, small graphs only)."""
+    if isinstance(source, NeighborSource):
+        def row(index):
+            return source.neighbor_block([index])[0]
+    else:
+        def row(index):
+            return source[index]
+    excluded_set = set(int(x) for x in excluded) if excluded is not None else set()
+    if origin_index in excluded_set:
+        raise InvalidParameterError(
+            f"origin index {origin_index} is excluded; balls grow from survivors"
+        )
+    distances = {origin_index: 0}
+    frontier = [origin_index]
+    level = 0
+    truncated = False
+    while frontier and level < max_depth:
+        level += 1
+        next_frontier = []
+        for index in frontier:
+            for neighbor in row(index):
+                neighbor = int(neighbor)
+                if (
+                    neighbor >= 0
+                    and neighbor not in distances
+                    and neighbor not in excluded_set
+                ):
+                    distances[neighbor] = level
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+        if not frontier:
+            level -= 1
+            break
+    if frontier and level == max_depth:
+        for index in frontier:
+            for neighbor in row(index):
+                neighbor = int(neighbor)
+                if (
+                    neighbor >= 0
+                    and neighbor not in distances
+                    and neighbor not in excluded_set
+                ):
+                    truncated = True
+                    break
+            if truncated:
+                break
+    nodes = sorted(distances)
+    return BoundedBall(
+        nodes=nodes,
+        distances=[distances[n] for n in nodes],
+        truncated=truncated,
+        levels=level,
+    )
 
 
 def _index_sweep_from(topology: "Topology", origin_index: int, *, chunk_nodes=None):

@@ -644,3 +644,65 @@ class TestRunnerChaos:
         shards = plan_shards(["FIG4"], profile="fast")
         report = run_shards(shards)
         assert report.ok and len(report.records) == 1
+
+
+class TestSampledCampaignChaos:
+    """The S_13 sampled campaigns under the same chaos and schema discipline.
+
+    The campaigns are pure functions of ``(seed, label, point, trial)``
+    coordinates, so a SIGKILLed worker must replay to the bit-identical
+    aggregate -- including the ``truncated`` accounting channel, which the
+    schema validation below pins as a first-class payload field.
+    """
+
+    SAMPLED_IDS = ["SAMPLED-FAULT", "SAMPLED-STRETCH"]
+
+    def test_sigkill_mid_sampled_fault_resumes_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        shards = plan_shards(self.SAMPLED_IDS, profile="fast")
+        serial = run_shards(shards, store=ArtifactStore(tmp_path / "serial"))
+        assert serial.ok
+
+        flag = tmp_path / "kill-once"
+        monkeypatch.setenv("REPRO_CHAOS_KILL", "SAMPLED-FAULT")
+        monkeypatch.setenv("REPRO_CHAOS_KILL_FLAG", str(flag))
+        store = ArtifactStore(tmp_path / "chaos")
+        report = run_shards(shards, jobs=2, store=store, retry_backoff=0.0)
+        assert flag.exists()
+        assert report.ok, [f.error for f in report.failed]
+        assert any("worker process died" in w for w in report.warnings)
+        assert json.dumps(report.payloads()) == json.dumps(serial.payloads())
+        assert store.corrupt_files() == []
+        # Resume: every shard cached, aggregate still bit-identical.
+        resumed = run_shards(shards, jobs=2, store=store)
+        assert resumed.executed == [] and len(resumed.cached) == len(shards)
+        assert json.dumps(resumed.payloads()) == json.dumps(serial.payloads())
+
+    @pytest.mark.parametrize("experiment_id", SAMPLED_IDS)
+    def test_payload_validates_with_truncation_fields(self, experiment_id):
+        spec = get_spec(experiment_id)
+        result = run_experiment(experiment_id, profile="fast")
+        payload = build_payload("fast", spec.params("fast"), result)
+        validate_payload(payload, spec.schema)
+
+        # The truncated channel is part of the declared contract, not an
+        # optional extra: it appears both per row and in the summary.
+        assert "truncated" in spec.schema.columns
+        assert "total_truncated" in spec.schema.summary_keys
+        truncated = payload["headers"].index("truncated")
+        pairs = payload["headers"].index("pairs")
+        total_truncated = 0
+        for row in payload["rows"]:
+            assert 0 <= row[truncated] <= row[pairs]
+            total_truncated += row[truncated]
+        assert payload["summary"]["total_truncated"] == total_truncated
+
+        # Dropping the accounting key must fail validation outright.
+        stripped = {
+            key: value
+            for key, value in payload["summary"].items()
+            if key != "total_truncated"
+        }
+        with pytest.raises(ArtifactError):
+            validate_payload(dict(payload, summary=stripped), spec.schema)

@@ -68,8 +68,8 @@ class TestExperimentResult:
 
 
 class TestRegistry:
-    def test_twenty_one_experiments_registered(self):
-        assert len(EXPERIMENTS) == 21
+    def test_twenty_four_experiments_registered(self):
+        assert len(EXPERIMENTS) == 24
         assert set(list_experiments()) == set(EXPERIMENTS)
 
     def test_specs_have_titles_and_matching_ids(self):

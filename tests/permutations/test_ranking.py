@@ -143,6 +143,11 @@ class TestTableDegreeGuard:
         assert "REPRO_NEIGHBORS=implicit" in message
         assert "repro.simulation.sampling" in message
         assert "SAMPLED-DISTANCE" in message
+        # ... including the sampled-campaign remedy added with the S_13+
+        # bounded-ball campaigns.
+        assert "repro.simulation.sampled_campaign" in message
+        assert "SAMPLED-FAULT" in message
+        assert "SAMPLED-STRETCH" in message
 
     def test_dense_tier_message_names_ceiling_and_cache_remedy(self):
         over = MAX_DENSE_DEGREE + 1
